@@ -1,0 +1,52 @@
+"""Ablation: number of HSS ranks at iso-flexibility (extends Fig. 6).
+
+Design choice called out in DESIGN.md / paper Sec. 5.3: for a target
+number of supported sparsity degrees, more ranks means smaller per-rank
+Hmax and a lower muxing tax — with diminishing returns.
+"""
+
+from conftest import emit
+
+from repro.eval.reporting import format_table
+from repro.sparsity import GHRange, mux_cost, supported_degrees
+
+
+def design_points():
+    return [
+        ("1-rank 2:{2..16}", [GHRange(2, 2, 16)]),
+        ("2-rank 2:{2..4} x 2:{2..8}",
+         [GHRange(2, 2, 4), GHRange(2, 2, 8)]),
+        ("2-rank 2:{2..3} x 2:{2..8}",
+         [GHRange(2, 2, 3), GHRange(2, 2, 8)]),
+        ("3-rank 2:{2..3} x 2:{2..3} x 2:{2..4}",
+         [GHRange(2, 2, 3), GHRange(2, 2, 3), GHRange(2, 2, 4)]),
+    ]
+
+
+def run():
+    rows = []
+    for name, families in design_points():
+        degrees = supported_degrees(families)
+        tax = mux_cost(families)
+        rows.append(
+            [name, str(len(degrees)), f"{float(min(degrees)):.3f}",
+             f"{tax:.1f}", f"{tax / len(degrees):.2f}"]
+        )
+    return rows
+
+
+def test_ablation_ranks(benchmark):
+    rows = benchmark(run)
+    emit(
+        "Ablation — HSS rank count vs muxing tax",
+        format_table(
+            ["design", "degrees", "min density", "mux tax",
+             "tax per degree"],
+            rows,
+        ),
+    )
+    # The paper's two-rank point dominates the one-rank baseline.
+    one_rank = next(r for r in rows if r[0].startswith("1-rank"))
+    two_rank = next(r for r in rows if "2..4} x" in r[0])
+    assert int(two_rank[1]) >= int(one_rank[1])
+    assert float(two_rank[3]) < float(one_rank[3]) / 2

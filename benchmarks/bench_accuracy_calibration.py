@@ -1,0 +1,33 @@
+"""Empirical backing for the Fig. 15 accuracy substitution.
+
+Runs the *real* prune + masked-fine-tune pipeline (numpy MLP, synthetic
+data) over degree ladders for unstructured / HSS / channel schemes and
+checks the two assumptions the calibrated accuracy model rests on:
+loss is monotone in sparsity, and rigid patterns lose more at a fixed
+degree — with HSS tracking unstructured closely, which is the software
+half of the paper's contribution.
+"""
+
+from conftest import emit
+
+from repro.pruning.calibration import (
+    check_granularity_ordering,
+    check_monotone_in_sparsity,
+    mean_loss_by_family,
+    run_calibration,
+    summarize_calibration,
+)
+
+
+def test_accuracy_calibration(benchmark):
+    points = benchmark.pedantic(run_calibration, rounds=1, iterations=1)
+    emit(
+        "Accuracy-model calibration (measured on the real pipeline)",
+        summarize_calibration(points),
+    )
+    assert check_monotone_in_sparsity(points)
+    assert check_granularity_ordering(points)
+    means = mean_loss_by_family(points)
+    # HSS tracks unstructured closely; channel is far worse.
+    assert abs(means["hss"] - means["unstructured"]) < 2.0
+    assert means["channel"] > means["hss"] + 5.0

@@ -1,0 +1,29 @@
+"""Extension experiment: the Fig. 15 study on EfficientNet-B0.
+
+The paper's Sec. 1 motivates HSS with compact models that "cannot be
+pruned as aggressively" (citing EfficientNet). Expected shape: steep
+accuracy loss beyond ~45% weight sparsity, DSTC at (or worse than)
+dense EDP for accuracy-preserving degrees, S2TA unsupported (dense
+depthwise/stem layers), HighLight still on the Pareto frontier.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig15
+
+
+def test_ext_efficientnet(benchmark, estimator):
+    result = benchmark(E.ext_efficientnet, estimator)
+    emit("Extension — EfficientNet-B0 Pareto", render_fig15(result))
+
+    points = result.points["EfficientNet-B0"]
+    assert result.highlight_on_frontier("EfficientNet-B0")
+    assert "S2TA" not in {p.design for p in points}
+    # The compact model degrades fast: even 50% already costs >0.5 pct.
+    at_50 = [p for p in points if p.weight_sparsity == 0.5]
+    assert all(p.accuracy_loss_pct > 0.5 for p in at_50)
+    # DSTC barely beats dense at its lowest degree.
+    dstc = [p for p in points if p.design == "DSTC"]
+    assert min(p.normalized_edp for p in dstc) < 1.0
+    assert max(p.normalized_edp for p in dstc) > 0.9

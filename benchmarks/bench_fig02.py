@@ -1,0 +1,24 @@
+"""Fig. 2: accuracy-matched EDP on pruned Transformer-Big and ResNet50.
+
+Paper shape to verify: STC beats DSTC on Transformer-Big, DSTC beats
+STC on ResNet50, and HighLight is lowest on both.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig2
+
+
+def test_fig2(benchmark, estimator):
+    result = benchmark(E.fig2, estimator)
+    emit("Fig. 2", render_fig2(result))
+
+    transformer = result.results["Transformer-Big"]
+    resnet = result.results["ResNet50"]
+    assert transformer["STC"][1] < transformer["DSTC"][1]
+    assert resnet["DSTC"][1] < resnet["STC"][1]
+    for per_design in (transformer, resnet):
+        assert per_design["HighLight"][1] == min(
+            edp for _, edp in per_design.values()
+        )

@@ -1,0 +1,19 @@
+"""Fig. 6: one-rank (S) vs two-rank (SS) HSS designs.
+
+Paper shape: both designs support 15 sparsity degrees across 0-87.5%,
+with SS needing > 2x less muxing overhead.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig6
+
+
+def test_fig6(benchmark):
+    result = benchmark(E.fig6)
+    emit("Fig. 6", render_fig6(result))
+
+    assert len(result.latency_curves["S"]) == 15
+    assert len(result.latency_curves["SS"]) == 15
+    assert result.overhead_ratio > 2.0

@@ -1,0 +1,26 @@
+"""Fig. 13: latency/energy/EDP over the synthetic 1024^3 sparsity grid.
+
+Paper shape: HighLight achieves the best EDP in every cell (parity on
+the dense cell), STC caps at 2x, DSTC is worse than dense at low
+sparsity and fastest at high sparsity, S2TA cannot run dense-A cells.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig13
+
+
+def test_fig13(benchmark, estimator):
+    result = benchmark(E.fig13, estimator)
+    for metric in ("edp", "energy_pj", "cycles"):
+        emit(f"Fig. 13 [{metric}]", render_fig13(result, metric))
+
+    normalized = result.normalized("edp")
+    for cell, row in normalized.items():
+        ours = row["HighLight"]
+        for design, value in row.items():
+            if value is None or design == "HighLight":
+                continue
+            assert ours <= value * 1.02, (cell, design)
+    assert normalized[(0.0, 0.0)]["HighLight"] <= 1.02

@@ -1,0 +1,37 @@
+"""Fig. 14: geomean metrics over the synthetic sweep.
+
+Paper shape: HighLight has the best geomean EDP and ED^2 and energy —
+a geomean of ~6.4x (up to ~20.4x) lower EDP than the dense TC and a
+multi-x geomean gain over the sparse baselines.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig14
+
+
+def test_fig14(benchmark, estimator):
+    sweep = E.fig13(estimator)
+    geomeans = benchmark(E.fig14, sweep)
+    emit("Fig. 14", render_fig14(geomeans))
+
+    for metric in ("edp", "ed2", "energy_pj"):
+        per_design = geomeans[metric]
+        assert per_design["HighLight"] == min(per_design.values()), metric
+
+    geomean_tc, max_tc = sweep.gain_over("TC")
+    emit(
+        "Headline gains",
+        f"vs dense TC: geomean {geomean_tc:.1f}x, up to {max_tc:.1f}x "
+        f"(paper: 6.4x / 20.4x)\n"
+        + "\n".join(
+            "vs {d}: geomean {g:.1f}x, up to {m:.1f}x".format(
+                d=design, g=sweep.gain_over(design)[0],
+                m=sweep.gain_over(design)[1],
+            )
+            for design in ("STC", "DSTC", "S2TA")
+        ),
+    )
+    assert 5.0 <= geomean_tc <= 8.0
+    assert max_tc >= 15.0

@@ -1,0 +1,25 @@
+"""Fig. 15: EDP vs accuracy-loss Pareto frontiers for three DNNs.
+
+Paper shape: HighLight sits on the Pareto frontier of every network;
+S2TA cannot process the attention models; DSTC shows worse-than-dense
+EDP on the relatively dense compact models.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig15
+
+
+def test_fig15(benchmark, estimator):
+    result = benchmark(E.fig15, estimator)
+    emit("Fig. 15", render_fig15(result))
+
+    for model in result.points:
+        assert result.highlight_on_frontier(model), model
+    for model in ("DeiT-small", "Transformer-Big"):
+        assert "S2TA" not in {p.design for p in result.points[model]}
+    deit_dstc = [
+        p for p in result.points["DeiT-small"] if p.design == "DSTC"
+    ]
+    assert any(p.normalized_edp > 1.0 for p in deit_dstc)

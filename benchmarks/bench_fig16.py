@@ -1,0 +1,23 @@
+"""Fig. 16: sparsity tax — energy breakdown and area breakdown.
+
+Paper shape: for the 75%-sparse-A / dense-B workload HighLight has the
+lowest total energy with SAF energy a small slice; the SAFs account for
+~5.7% of HighLight's area.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig16
+
+
+def test_fig16(benchmark, estimator):
+    result = benchmark(E.fig16, estimator)
+    emit("Fig. 16", render_fig16(result))
+
+    assert abs(result.highlight_saf_area_fraction - 0.057) < 0.015
+    totals = {
+        design: sum(buckets.values())
+        for design, buckets in result.energy_breakdown.items()
+    }
+    assert totals["HighLight"] == min(totals.values())

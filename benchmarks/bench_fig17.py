@@ -1,0 +1,21 @@
+"""Fig. 17: HighLight vs the dual-side HSS design (DSSO).
+
+Paper shape: DSSO achieves 2x better processing speed at the commonly
+supported degrees (B C1(2:4)), scaling with H, while HighLight stays at
+its A-side 2x.
+"""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig17
+
+
+def test_fig17(benchmark, estimator):
+    result = benchmark(E.fig17, estimator)
+    emit("Fig. 17", render_fig17(result))
+
+    assert result.dsso_gain(4) == 2.0
+    for h, (highlight_speed, dsso_speed) in result.speeds.items():
+        assert highlight_speed == 2.0
+        assert dsso_speed == h

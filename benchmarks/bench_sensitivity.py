@@ -1,0 +1,20 @@
+"""Robustness bench: headline orderings under cost-model perturbation.
+
+Not a paper figure — reproduction hygiene. Every key 65 nm constant is
+scaled by +/-30% and the Fig. 13 headline orderings are re-checked:
+if a conclusion only held at the exact shipped constants it would not
+be a reproduction of the paper's *relative* claims.
+"""
+
+from conftest import emit
+
+from repro.eval.sensitivity import summarize, sweep_sensitivity
+
+
+def test_sensitivity(benchmark):
+    outcomes = benchmark.pedantic(
+        sweep_sensitivity, rounds=1, iterations=1
+    )
+    emit("Sensitivity — headline checks under +/-30% constants",
+         summarize(outcomes))
+    assert all(outcome.all_hold for outcome in outcomes)

@@ -1,0 +1,28 @@
+"""Robustness bench: headline orderings across DNN-realistic shapes.
+
+Re-checks the Fig. 13 orderings on skewed GEMM shapes (Toeplitz-wide
+early convs, reduction-heavy late convs, N=1 classifiers, transformer
+projections). Parity tolerance is 10% here: at the weight-dominated
+N=1 corner there is no compute to amortize metadata over, and
+HighLight's two-rank metadata (3.5 bits/nonzero vs STC's 2) costs a
+real but bounded ~8% — everywhere else the orderings hold outright.
+"""
+
+from conftest import emit
+
+from repro.eval.shapes import summarize_shapes, sweep_shapes
+
+
+def test_shapes(benchmark, estimator):
+    outcomes = benchmark.pedantic(
+        sweep_shapes, kwargs={
+            "estimator": estimator, "parity_tolerance": 0.10,
+        },
+        rounds=1, iterations=1,
+    )
+    emit("Shape robustness", summarize_shapes(outcomes))
+
+    for outcome in outcomes:
+        assert outcome.highlight_best, outcome.shape
+        assert outcome.dense_parity, outcome.shape
+        assert outcome.sparse_gain_vs_dense > 5.0, outcome.shape

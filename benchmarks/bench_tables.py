@@ -1,0 +1,78 @@
+"""Tables 1-4: taxonomy, pattern specs, supported patterns, resources."""
+
+from conftest import emit
+
+from repro.eval import experiments as E
+from repro.eval.reporting import format_table
+
+
+def test_table1(benchmark):
+    rows = benchmark(E.table1)
+    emit(
+        "Table 1 — design-category comparison",
+        format_table(
+            ["category", "design", "sparsity tax", "degree diversity"],
+            [
+                [r["category"], r["design"], r["sparsity_tax"],
+                 r["degree_diversity"]]
+                for r in rows
+            ],
+        ),
+    )
+    assert rows[-1]["design"] == "HighLight"
+
+
+def test_table1_saf_inventory(benchmark):
+    rows = benchmark(E.table1_saf_inventory)
+    emit(
+        "Table 1 (quantified) — SAF inventory per design",
+        format_table(
+            ["design", "SAFs", "static balance"],
+            [[r["design"], r["safs"], r["static_balance"]] for r in rows],
+        ),
+    )
+    by_design = {r["design"]: r for r in rows}
+    assert by_design["TC"]["safs"] == "none"
+    assert by_design["HighLight"]["static_balance"] == "True"
+    assert by_design["DSTC"]["static_balance"] == "False"
+
+
+def test_table2(benchmark):
+    rows = benchmark(E.table2)
+    emit(
+        "Table 2 — fibertree-based sparsity specifications",
+        format_table(
+            ["source", "conventional", "fibertree spec"],
+            [[r["source"], r["conventional"], r["fibertree"]] for r in rows],
+        ),
+    )
+    assert len(rows) == 7
+
+
+def test_table3(benchmark):
+    rows = benchmark(E.table3)
+    rows = rows + [E.table3_dsso()]
+    emit(
+        "Table 3 — supported sparsity patterns",
+        format_table(
+            ["design", "patterns"],
+            [[r["design"], r["patterns"]] for r in rows],
+        ),
+    )
+    assert any("HSS" not in r["design"] for r in rows)
+
+
+def test_table4(benchmark):
+    rows = benchmark(E.table_4)
+    emit(
+        "Table 4 — resource allocation",
+        format_table(
+            ["design", "GLB data (KB)", "GLB meta (KB)", "RF", "MACs"],
+            [
+                [r["design"], str(r["glb_data_kb"]), str(r["glb_meta_kb"]),
+                 str(r["rf"]), str(r["macs"])]
+                for r in rows
+            ],
+        ),
+    )
+    assert all(r["macs"] == 1024 for r in rows)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md's experiment index): the benchmark
+body runs the experiment, and the module prints the same rows/series
+the paper reports so the output can be compared side by side.
+"""
+
+import pytest
+
+from repro.energy import Estimator
+
+
+@pytest.fixture(scope="session")
+def estimator():
+    return Estimator()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled experiment artifact under ``-s``/captured logs."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}\n{body}\n")

@@ -1,0 +1,53 @@
+"""Dual-side HSS (DSSO, paper Sec. 7.5) — modeled AND executed.
+
+Two views of the same claim:
+
+1. the analytical Fig. 17 comparison (DSSO 2x faster than HighLight at
+   the commonly supported degrees, scaling with the activation H);
+2. a functional execution: the alternating-dense-rank operands run
+   through ``simulate_dsso_matmul`` with dense-sparse intersections at
+   each rank — exact results and the multiplicative speedup, observed
+   rather than modeled.
+
+Run: ``python examples/dual_side_dsso.py``
+"""
+
+import numpy as np
+
+from repro.eval import experiments as E
+from repro.eval.reporting import render_fig17
+from repro.sim import simulate_dsso_matmul
+from repro.sparsity import HSSPattern, sparsify
+
+
+def main() -> None:
+    # --- analytical Fig. 17 --------------------------------------------
+    print(render_fig17(E.fig17(size=512)))
+
+    # --- functional execution -------------------------------------------
+    rng = np.random.default_rng(0)
+    pattern_a = HSSPattern.from_ratios((2, 4))          # weights C0(2:4)
+    m, k, n = 8, 64, 8
+    a = sparsify(rng.normal(size=(m, k)), pattern_a)
+
+    print("\nExecuted dual-side runs (exact results):")
+    for h in (2, 4, 8):
+        pattern_b = HSSPattern.from_ratios((4, 4), (2, h))
+        b = sparsify(rng.normal(size=(k, n)), pattern_b, axis=0)
+        result, stats = simulate_dsso_matmul(a, b, pattern_a, pattern_b)
+        assert np.allclose(result, a @ b)
+        print(
+            f"  B C1(2:{h}): {stats.steps} steps, "
+            f"{stats.rank1_blocks_skipped} blocks skipped, "
+            f"{stats.speedup_vs_dense:.1f}x vs dense (exact: yes)"
+        )
+    print(
+        "\nThe trade-off (Sec. 7.5): DSSO doubles throughput at the "
+        "shared degrees\nbut supports fewer operand-B degrees, and "
+        "producing HSS-formatted\nactivations on the fly needs hardware "
+        "HighLight does not have."
+    )
+
+
+if __name__ == "__main__":
+    main()

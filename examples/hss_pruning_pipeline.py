@@ -1,0 +1,59 @@
+"""The full prune-then-fine-tune pipeline on a real (small) model.
+
+Reproduces the paper's Sec. 4.2 / 7.1.3 software story end-to-end on a
+numpy MLP over synthetic data: train dense, statically mask to several
+sparsity patterns (unstructured, 2:4, two-rank HSS, channel), fine-tune
+with masked gradients, and compare how much accuracy each pattern
+recovers at the same sparsity degree — more rigid structures recover
+less, which is exactly the granularity trade-off Fig. 15 rests on.
+
+Run: ``python examples/hss_pruning_pipeline.py``
+"""
+
+import copy
+
+from repro.pruning import (
+    ChannelScheme,
+    HSSScheme,
+    StructuredGHScheme,
+    TrainConfig,
+    UnstructuredScheme,
+    make_blobs,
+    prune_and_finetune,
+    train_dense,
+)
+from repro.sparsity import HSSPattern
+
+
+def main() -> None:
+    config = TrainConfig(epochs=25)
+    x, y = make_blobs(num_samples=3000)
+    print("training the dense reference model ...")
+    dense_model = train_dense(x, y, config)
+    print(f"dense accuracy: {dense_model.accuracy(x, y):.1%}\n")
+
+    # All schemes target (about) 75% sparsity.
+    schemes = [
+        UnstructuredScheme(0.75),
+        HSSScheme(HSSPattern.from_ratios((2, 4), (2, 4))),
+        StructuredGHScheme(1, 4),
+        ChannelScheme(0.75),
+    ]
+    print(f"{'scheme':38s} {'sparsity':>9s} {'pruned':>8s} "
+          f"{'finetuned':>9s} {'recovered':>9s}")
+    for scheme in schemes:
+        model = copy.deepcopy(dense_model)
+        result = prune_and_finetune(model, scheme, x, y, config)
+        print(
+            f"{scheme.describe():38s} {result.weight_sparsity:9.1%} "
+            f"{result.pruned_accuracy:8.1%} "
+            f"{result.finetuned_accuracy:9.1%} "
+            f"{result.recovered:+9.1%}"
+        )
+    print("\nNote how fine-tuning recovers most of the pruning damage, "
+          "and how the two-rank HSS pattern tracks unstructured pruning "
+          "far closer than the coarse channel structure.")
+
+
+if __name__ == "__main__":
+    main()

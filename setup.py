@@ -1,0 +1,10 @@
+"""Legacy setup shim so editable installs work without network access.
+
+The environment has no ``wheel`` package, so PEP 517 editable builds are
+unavailable; ``pip install -e . --no-build-isolation`` falls back to this
+``setup.py``-based path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

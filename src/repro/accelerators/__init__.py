@@ -1,0 +1,37 @@
+"""The evaluated accelerator designs (paper Tables 1, 3, 4).
+
+* :class:`TC` — dense tensor-core-like baseline (no sparsity support).
+* :class:`STC` — single-sided 2:4 structured sparse (speedup capped 2x).
+* :class:`S2TA` — dual-sided G:8 structured sparse.
+* :class:`DSTC` — dual-sided unstructured sparse, outer-product
+  dataflow with a costly accumulation buffer.
+* :class:`HighLight` — the paper's design: hierarchical skipping of
+  two-rank HSS operand A, compression + gating of operand B.
+* :class:`DSSO` — the Sec. 7.5 dual-side HSS study design with
+  alternating dense ranks.
+"""
+
+from repro.accelerators.base import AcceleratorDesign, best_orientation
+from repro.accelerators.tc import TC
+from repro.accelerators.stc import STC
+from repro.accelerators.s2ta import S2TA
+from repro.accelerators.dstc import DSTC
+from repro.accelerators.highlight import HighLight
+from repro.accelerators.dsso import DSSO
+
+__all__ = [
+    "AcceleratorDesign",
+    "best_orientation",
+    "TC",
+    "STC",
+    "S2TA",
+    "DSTC",
+    "HighLight",
+    "DSSO",
+    "all_designs",
+]
+
+
+def all_designs():
+    """The five designs of the main evaluation, in Table 4 order."""
+    return (TC(), STC(), DSTC(), S2TA(), HighLight())

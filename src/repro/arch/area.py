@@ -1,0 +1,93 @@
+"""Area model and the Fig. 16(b) breakdown.
+
+Components are attributed to the categories the paper's area pie uses:
+compute (MACs), GLB, RF, SAF (muxes, VFMU, intersection — the sparsity
+tax), and other (compression unit, control). The headline check is that
+HighLight's SAFs account for only ~5.7% of its area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.arch.components import Component, ComponentClass
+from repro.arch.designs import DesignResources
+from repro.arch.spec import ArchitectureSpec
+
+if TYPE_CHECKING:  # deferred: energy imports arch.components
+    from repro.energy.estimator import Estimator
+
+#: Component classes that constitute the sparsity-acceleration tax.
+SAF_CLASSES = (
+    ComponentClass.MUX,
+    ComponentClass.VFMU,
+    ComponentClass.INTERSECTION,
+)
+
+
+def _category(component: Component) -> str:
+    cls = component.component_class
+    if cls is ComponentClass.MAC:
+        return "compute"
+    if cls is ComponentClass.SRAM:
+        return "glb"
+    if cls in (ComponentClass.REGFILE, ComponentClass.REGISTER):
+        return "rf"
+    if cls in SAF_CLASSES:
+        return "saf"
+    if cls is ComponentClass.DRAM:
+        return "dram"
+    return "other"
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Per-category area of one architecture, in um^2."""
+
+    design: str
+    by_category: Dict[str, float]
+
+    @property
+    def total_um2(self) -> float:
+        """On-chip area (DRAM is off-chip and excluded)."""
+        return sum(
+            area for key, area in self.by_category.items() if key != "dram"
+        )
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 / 1e6
+
+    def fraction(self, category: str) -> float:
+        """Share of on-chip area attributed to ``category``."""
+        total = self.total_um2
+        if total == 0:
+            return 0.0
+        return self.by_category.get(category, 0.0) / total
+
+    @property
+    def saf_fraction(self) -> float:
+        """The sparsity-tax area share (paper: ~5.7% for HighLight)."""
+        return self.fraction("saf")
+
+
+def area_breakdown(
+    resources: DesignResources, estimator: Optional["Estimator"] = None
+) -> AreaModel:
+    """Compute the Fig. 16(b)-style per-category area breakdown."""
+    if estimator is None:
+        from repro.energy.estimator import Estimator
+
+        estimator = Estimator()
+    return _breakdown(resources.arch, estimator)
+
+
+def _breakdown(arch: ArchitectureSpec, estimator: "Estimator") -> AreaModel:
+    by_category: Dict[str, float] = {}
+    for component in arch.components:
+        category = _category(component)
+        by_category[category] = by_category.get(
+            category, 0.0
+        ) + estimator.area_um2(component)
+    return AreaModel(design=arch.name, by_category=by_category)

@@ -1,0 +1,94 @@
+"""Hardware component descriptions (the Accelergy "compound component"
+level of detail that the energy/area plug-ins consume)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from repro.errors import ArchitectureError
+
+Attribute = Union[int, float, str, bool]
+
+
+class ComponentClass(enum.Enum):
+    """The technology class a component belongs to.
+
+    The class selects which energy/area plug-in characterizes the
+    component, mirroring how Accelergy routes compound components to
+    estimation plug-ins (synthesized RTL for logic, an SRAM compiler for
+    small SRAMs, CACTI for large SRAMs, vendor data for DRAM).
+    """
+
+    MAC = "mac"
+    REGISTER = "register"
+    REGFILE = "regfile"
+    SRAM = "sram"
+    DRAM = "dram"
+    MUX = "mux"
+    VFMU = "vfmu"
+    INTERSECTION = "intersection"
+    COMPRESSION = "compression"
+    CONTROL = "control"
+    NOC = "noc"
+
+
+@dataclass(frozen=True)
+class Component:
+    """One component instance group in an architecture.
+
+    ``count`` is the number of identical instances (e.g. 1024 MACs);
+    ``attributes`` carries plug-in-specific sizing such as
+    ``capacity_bytes`` for memories, ``inputs``/``width_bits`` for muxes,
+    ``datawidth`` for MACs.
+    """
+
+    name: str
+    component_class: ComponentClass
+    count: int = 1
+    attributes: Dict[str, Attribute] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ArchitectureError(
+                f"component {self.name!r} has non-positive count {self.count}"
+            )
+
+    def attribute(self, key: str, default: Attribute = None) -> Attribute:
+        """Fetch a sizing attribute with an optional default."""
+        if default is None and key not in self.attributes:
+            raise ArchitectureError(
+                f"component {self.name!r} is missing attribute {key!r}"
+            )
+        return self.attributes.get(key, default)
+
+
+def sram(name: str, capacity_bytes: int, count: int = 1, **extra) -> Component:
+    """Convenience constructor for an SRAM buffer."""
+    attrs: Dict[str, Attribute] = {"capacity_bytes": capacity_bytes}
+    attrs.update(extra)
+    return Component(name, ComponentClass.SRAM, count, attrs)
+
+
+def regfile(name: str, capacity_bytes: int, count: int = 1) -> Component:
+    """Convenience constructor for a register file."""
+    return Component(
+        name, ComponentClass.REGFILE, count,
+        {"capacity_bytes": capacity_bytes},
+    )
+
+
+def mac(name: str, count: int, datawidth: int = 16) -> Component:
+    """Convenience constructor for a MAC unit group."""
+    return Component(name, ComponentClass.MAC, count, {"datawidth": datawidth})
+
+
+def mux(
+    name: str, inputs: int, width_bits: int, count: int = 1
+) -> Component:
+    """Convenience constructor for an N-to-1 mux group."""
+    return Component(
+        name, ComponentClass.MUX, count,
+        {"inputs": inputs, "width_bits": width_bits},
+    )

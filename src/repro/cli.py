@@ -1,0 +1,141 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro <artifact> [...]
+    python -m repro all
+    python -m repro report [path]
+
+Artifacts: ``tables``, ``fig2``, ``fig6``, ``fig13``, ``fig14``,
+``fig15``, ``fig16``, ``fig17``. ``report`` writes the EXPERIMENTS.md
+paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.energy import Estimator
+from repro.eval import experiments as E
+from repro.eval import reporting as R
+
+
+def _run_tables(estimator: Estimator) -> str:
+    sections = []
+    sections.append(
+        R.format_table(
+            ["category", "design", "sparsity tax", "degree diversity"],
+            [
+                [r["category"], r["design"], r["sparsity_tax"],
+                 r["degree_diversity"]]
+                for r in E.table1()
+            ],
+        )
+    )
+    sections.append(
+        R.format_table(
+            ["source", "conventional", "fibertree spec"],
+            [
+                [r["source"], r["conventional"], r["fibertree"]]
+                for r in E.table2()
+            ],
+        )
+    )
+    sections.append(
+        R.format_table(
+            ["design", "patterns"],
+            [[r["design"], r["patterns"]] for r in E.table3()]
+            + [[E.table3_dsso()["design"], E.table3_dsso()["patterns"]]],
+        )
+    )
+    sections.append(
+        R.format_table(
+            ["design", "GLB data (KB)", "GLB meta (KB)", "RF", "MACs"],
+            [
+                [r["design"], str(r["glb_data_kb"]),
+                 str(r["glb_meta_kb"]), str(r["rf"]), str(r["macs"])]
+                for r in E.table_4()
+            ],
+        )
+    )
+    titles = ["Table 1", "Table 2", "Table 3", "Table 4"]
+    return "\n\n".join(
+        f"{title}\n{section}" for title, section in zip(titles, sections)
+    )
+
+
+def _run_fig13(estimator: Estimator) -> str:
+    sweep = E.fig13(estimator)
+    parts = [
+        R.render_fig13(sweep, metric)
+        for metric in ("edp", "energy_pj", "cycles")
+    ]
+    geomean_tc, max_tc = sweep.gain_over("TC")
+    parts.append(
+        f"HighLight vs TC: geomean {geomean_tc:.1f}x, "
+        f"up to {max_tc:.1f}x (paper: 6.4x / 20.4x)"
+    )
+    return "\n\n".join(parts)
+
+
+def _run_fig14(estimator: Estimator) -> str:
+    return R.render_fig14(E.fig14(E.fig13(estimator)))
+
+
+ARTIFACTS: Dict[str, Callable[[Estimator], str]] = {
+    "tables": _run_tables,
+    "fig2": lambda est: R.render_fig2(E.fig2(est)),
+    "fig6": lambda est: R.render_fig6(E.fig6()),
+    "fig13": _run_fig13,
+    "fig14": _run_fig14,
+    "fig15": lambda est: R.render_fig15(E.fig15(est)),
+    "fig16": lambda est: R.render_fig16(E.fig16(est)),
+    "fig17": lambda est: R.render_fig17(E.fig17(est)),
+}
+
+#: Paper order for `all` and the report.
+ORDER = ["tables", "fig2", "fig6", "fig13", "fig14", "fig15", "fig16",
+         "fig17"]
+
+
+def run_artifacts(names: List[str]) -> str:
+    estimator = Estimator()
+    outputs = []
+    for name in names:
+        outputs.append(ARTIFACTS[name](estimator))
+    return "\n\n".join(outputs)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate HighLight (MICRO 2023) paper artifacts.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all", "report"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="EXPERIMENTS.md",
+        help="output path (report mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.artifact == "report":
+        from repro.eval.report import write_report
+
+        write_report(args.path)
+        print(f"wrote {args.path}")
+        return 0
+    names = ORDER if args.artifact == "all" else [args.artifact]
+    print(run_artifacts(names))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

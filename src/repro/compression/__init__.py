@@ -1,0 +1,49 @@
+"""Compression formats and metadata accounting.
+
+* :mod:`repro.compression.formats` — baseline single-rank formats
+  (uncompressed, bitmask, run-length, offset-based coordinate payload
+  "CP") with exact metadata-bit accounting.
+* :mod:`repro.compression.hierarchical` — the hierarchical CP format
+  HighLight uses for HSS operand A (paper Fig. 9).
+* :mod:`repro.compression.operand_b` — the three-level metadata format
+  for compressed unstructured operand B (paper Fig. 12), consumed by the
+  VFMU model/simulator.
+"""
+
+from repro.compression.formats import (
+    BitmaskEncoding,
+    CPEncoding,
+    RunLengthEncoding,
+    UncompressedEncoding,
+    encode_bitmask,
+    encode_cp,
+    encode_run_length,
+    encode_uncompressed,
+)
+from repro.compression.hierarchical import (
+    HierarchicalCPRow,
+    decode_hierarchical_cp,
+    encode_hierarchical_cp,
+)
+from repro.compression.operand_b import (
+    CompressedOperandB,
+    decode_operand_b,
+    encode_operand_b,
+)
+
+__all__ = [
+    "BitmaskEncoding",
+    "CPEncoding",
+    "RunLengthEncoding",
+    "UncompressedEncoding",
+    "encode_bitmask",
+    "encode_cp",
+    "encode_run_length",
+    "encode_uncompressed",
+    "HierarchicalCPRow",
+    "decode_hierarchical_cp",
+    "encode_hierarchical_cp",
+    "CompressedOperandB",
+    "decode_operand_b",
+    "encode_operand_b",
+]

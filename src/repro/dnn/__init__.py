@@ -1,0 +1,45 @@
+"""DNN workloads: layer shapes, model tables, Toeplitz expansion.
+
+The paper evaluates three representative DNNs (Sec. 7.1.2): the
+convolutional ResNet50, the attention-based DeiT-small (both ImageNet),
+and Transformer-Big (WMT16 EN-DE). All layers are processed as matrix
+multiplications: convolutions are flattened via Toeplitz (im2col)
+expansion (Fig. 8(a)).
+"""
+
+from repro.dnn.layers import ConvLayer, LinearLayer, Layer
+from repro.dnn.models import (
+    DnnModel,
+    deit_small,
+    efficientnet_b0,
+    resnet50,
+    transformer_big,
+    all_models,
+)
+from repro.dnn.inference import (
+    SimulatedConvLayer,
+    SimulatedNetwork,
+    random_network,
+)
+from repro.dnn.toeplitz import toeplitz_expand, conv_output_size
+from repro.dnn.reference import conv2d_reference, linear_reference, matmul
+
+__all__ = [
+    "ConvLayer",
+    "LinearLayer",
+    "Layer",
+    "DnnModel",
+    "resnet50",
+    "deit_small",
+    "efficientnet_b0",
+    "transformer_big",
+    "all_models",
+    "SimulatedConvLayer",
+    "SimulatedNetwork",
+    "random_network",
+    "toeplitz_expand",
+    "conv_output_size",
+    "conv2d_reference",
+    "linear_reference",
+    "matmul",
+]

@@ -1,0 +1,124 @@
+"""Layer descriptors and their mapping to matrix multiplications.
+
+Following the paper's Fig. 8(a) conventions for convolutions:
+M = number of filters, C = input channels, R/S = kernel height/width,
+P/Q = output height/width. The GEMM view is A (weights) of shape
+(M, C*R*S) times B (Toeplitz-expanded inputs) of shape (C*R*S, P*Q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A 2-D convolution layer (optionally grouped/depthwise).
+
+    A grouped convolution with ``groups`` splits channels into
+    independent convolutions; each group is its own (smaller) GEMM, so
+    ``gemm_shape`` reports the per-group shape and ``gemm_instances``
+    the number of GEMMs (repeats x groups). Depthwise convolutions are
+    ``groups == in_channels``.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    input_size: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    #: How many times this exact shape repeats in the network.
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "in_channels", "out_channels", "kernel", "input_size",
+            "stride", "groups", "repeats",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise WorkloadError(
+                    f"{self.name}: {field_name} must be positive"
+                )
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise WorkloadError(
+                f"{self.name}: channels must divide evenly into "
+                f"{self.groups} groups"
+            )
+
+    @property
+    def output_size(self) -> int:
+        size = (
+            self.input_size + 2 * self.padding - self.kernel
+        ) // self.stride + 1
+        if size <= 0:
+            raise WorkloadError(f"{self.name}: non-positive output size")
+        return size
+
+    def gemm_shape(self) -> Tuple[int, int, int]:
+        """(M, K, N) of the Toeplitz-flattened GEMM (per group)."""
+        m = self.out_channels // self.groups
+        k = (self.in_channels // self.groups) * self.kernel * self.kernel
+        n = self.output_size * self.output_size
+        return m, k, n
+
+    @property
+    def gemm_instances(self) -> int:
+        """GEMMs this layer contributes: repeats x groups."""
+        return self.repeats * self.groups
+
+    @property
+    def weight_count(self) -> int:
+        m, k, _ = self.gemm_shape()
+        return m * k * self.groups
+
+    @property
+    def macs(self) -> int:
+        m, k, n = self.gemm_shape()
+        return m * k * n * self.groups
+
+
+@dataclass(frozen=True)
+class LinearLayer:
+    """A fully-connected / projection layer applied to ``tokens`` rows."""
+
+    name: str
+    in_features: int
+    out_features: int
+    tokens: int = 1
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "in_features", "out_features", "tokens", "repeats",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise WorkloadError(
+                    f"{self.name}: {field_name} must be positive"
+                )
+
+    def gemm_shape(self) -> Tuple[int, int, int]:
+        """(M, K, N): weights (out, in) times activations (in, tokens)."""
+        return self.out_features, self.in_features, self.tokens
+
+    @property
+    def gemm_instances(self) -> int:
+        """GEMMs this layer contributes (repeats; no grouping)."""
+        return self.repeats
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def macs(self) -> int:
+        m, k, n = self.gemm_shape()
+        return m * k * n
+
+
+Layer = Union[ConvLayer, LinearLayer]

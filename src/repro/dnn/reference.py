@@ -1,0 +1,68 @@
+"""Reference numpy implementations used to validate the GEMM pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain reference GEMM (the ground truth for simulator checks)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise WorkloadError(
+            f"incompatible matmul shapes {a.shape} x {b.shape}"
+        )
+    return a @ b
+
+
+def conv2d_reference(
+    weights: np.ndarray,
+    inputs: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Direct convolution: weights (M, C, R, S) over inputs (C, H, W)."""
+    weights = np.asarray(weights, dtype=float)
+    inputs = np.asarray(inputs, dtype=float)
+    if weights.ndim != 4 or inputs.ndim != 3:
+        raise WorkloadError("conv2d_reference expects 4-D weights, 3-D inputs")
+    if weights.shape[1] != inputs.shape[0]:
+        raise WorkloadError(
+            f"channel mismatch: weights C={weights.shape[1]}, "
+            f"inputs C={inputs.shape[0]}"
+        )
+    filters, _, kernel, kernel_w = weights.shape
+    if kernel != kernel_w:
+        raise WorkloadError("only square kernels are supported")
+    if padding:
+        inputs = np.pad(
+            inputs, ((0, 0), (padding, padding), (padding, padding))
+        )
+    height = inputs.shape[1]
+    out = (height - kernel) // stride + 1
+    result = np.zeros((filters, out, out), dtype=float)
+    for p in range(out):
+        for q in range(out):
+            patch = inputs[
+                :, p * stride : p * stride + kernel,
+                q * stride : q * stride + kernel,
+            ]
+            result[:, p, q] = np.tensordot(
+                weights, patch, axes=([1, 2, 3], [0, 1, 2])
+            )
+    return result
+
+
+def linear_reference(
+    weights: np.ndarray, activations: np.ndarray
+) -> np.ndarray:
+    """Fully-connected layer: weights (out, in) x activations (in, tokens)."""
+    return matmul(weights, activations)
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """ReLU — the activation function that makes operand B sparse."""
+    return np.maximum(values, 0.0)

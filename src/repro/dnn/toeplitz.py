@@ -1,0 +1,81 @@
+"""Toeplitz (im2col) expansion: convolution as matrix multiplication.
+
+Paper Fig. 8(a): a convolution with weights (M, C, R, S) over inputs
+(C, H, W) becomes A (M, C*R*S) x B (C*R*S, P*Q). The expansion is what
+lets one GEMM engine (HighLight and all baselines) process both conv
+and FC layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def conv_output_size(
+    input_size: int, kernel: int, stride: int = 1, padding: int = 0
+) -> int:
+    """Output spatial extent of a convolution."""
+    size = (input_size + 2 * padding - kernel) // stride + 1
+    if size <= 0:
+        raise WorkloadError(
+            f"non-positive conv output size for input {input_size}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return size
+
+
+def toeplitz_expand(
+    inputs: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Expand inputs (C, H, W) into the Toeplitz matrix (C*R*S, P*Q).
+
+    Column (p*Q + q) holds the receptive field of output pixel (p, q),
+    flattened in (C, R, S) order to match flattened weights.
+    """
+    inputs = np.asarray(inputs, dtype=float)
+    if inputs.ndim != 3:
+        raise WorkloadError(
+            f"toeplitz_expand expects (C, H, W) inputs, got {inputs.ndim} dims"
+        )
+    channels, height, width = inputs.shape
+    if height != width:
+        raise WorkloadError("only square inputs are supported")
+    if padding:
+        inputs = np.pad(
+            inputs, ((0, 0), (padding, padding), (padding, padding))
+        )
+    out = conv_output_size(height, kernel, stride, padding)
+    columns = np.empty((channels * kernel * kernel, out * out), dtype=float)
+    for p in range(out):
+        for q in range(out):
+            row_start = p * stride
+            col_start = q * stride
+            patch = inputs[
+                :, row_start : row_start + kernel,
+                col_start : col_start + kernel,
+            ]
+            columns[:, p * out + q] = patch.reshape(-1)
+    return columns
+
+
+def flatten_weights(weights: np.ndarray) -> np.ndarray:
+    """Flatten conv weights (M, C, R, S) into the GEMM operand (M, C*R*S)."""
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 4:
+        raise WorkloadError(
+            f"expected (M, C, R, S) weights, got {weights.ndim} dims"
+        )
+    return weights.reshape(weights.shape[0], -1)
+
+
+def fold_outputs(gemm_output: np.ndarray, out: int) -> np.ndarray:
+    """Reshape GEMM output (M, P*Q) back to feature maps (M, P, Q)."""
+    gemm_output = np.asarray(gemm_output)
+    if gemm_output.ndim != 2 or gemm_output.shape[1] != out * out:
+        raise WorkloadError(
+            f"cannot fold output of shape {gemm_output.shape} to "
+            f"{out}x{out} maps"
+        )
+    return gemm_output.reshape(gemm_output.shape[0], out, out)

@@ -1,0 +1,73 @@
+"""The :class:`Estimator`: routes energy/area queries to plug-ins."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.components import Component
+from repro.arch.spec import ArchitectureSpec
+from repro.energy.plugins import EstimationPlugin, default_plugins
+from repro.energy.tables import EnergyAreaTable, default_table
+from repro.errors import ArchitectureError
+
+
+class Estimator:
+    """Accelergy-like front end: per-action energy and per-component area.
+
+    Queries are cached; all designs in an experiment should share one
+    estimator so they are costed from identical technology assumptions.
+    """
+
+    def __init__(
+        self,
+        table: Optional[EnergyAreaTable] = None,
+        plugins: Optional[Sequence[EstimationPlugin]] = None,
+    ) -> None:
+        self.table = table or default_table()
+        self._plugins = (
+            list(plugins)
+            if plugins is not None
+            else default_plugins(self.table)
+        )
+        self._energy_cache: Dict[Tuple, float] = {}
+        self._area_cache: Dict[Tuple, float] = {}
+
+    @staticmethod
+    def _key(component: Component) -> Tuple:
+        """Content-based cache key (never identity: ids get reused)."""
+        return (
+            component.name,
+            component.component_class,
+            component.count,
+            tuple(sorted(component.attributes.items())),
+        )
+
+    def _plugin_for(self, component: Component) -> EstimationPlugin:
+        for plugin in self._plugins:
+            if plugin.supports(component.component_class):
+                return plugin
+        raise ArchitectureError(
+            f"no plug-in supports component class "
+            f"{component.component_class.value!r}"
+        )
+
+    def energy_pj(self, component: Component, action: str) -> float:
+        """Energy of one ``action`` on one instance of ``component``."""
+        key = (self._key(component), action)
+        if key not in self._energy_cache:
+            self._energy_cache[key] = self._plugin_for(component).energy_pj(
+                component, action
+            )
+        return self._energy_cache[key]
+
+    def area_um2(self, component: Component) -> float:
+        """Total area of the component group (per-instance area x count)."""
+        key = self._key(component)
+        if key not in self._area_cache:
+            per_instance = self._plugin_for(component).area_um2(component)
+            self._area_cache[key] = per_instance * component.count
+        return self._area_cache[key]
+
+    def architecture_area_um2(self, arch: ArchitectureSpec) -> float:
+        """Total area of all components in an architecture."""
+        return sum(self.area_um2(c) for c in arch.components)

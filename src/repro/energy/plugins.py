@@ -1,0 +1,198 @@
+"""Estimation plug-ins: map (component, action) -> pJ and component -> um^2.
+
+Mirrors Accelergy's plug-in architecture: each plug-in declares which
+component classes it can characterize; an :class:`repro.energy.Estimator`
+routes queries to the first plug-in that supports the class.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Protocol
+
+from repro.arch.components import Component, ComponentClass
+from repro.energy.tables import EnergyAreaTable
+from repro.errors import ArchitectureError
+
+
+class EstimationPlugin(Protocol):
+    """The plug-in protocol (structural typing, like Accelergy's API)."""
+
+    def supports(self, component_class: ComponentClass) -> bool:
+        """Whether this plug-in characterizes the component class."""
+        ...
+
+    def energy_pj(self, component: Component, action: str) -> float:
+        """Energy of one ``action`` on one instance of ``component``."""
+        ...
+
+    def area_um2(self, component: Component) -> float:
+        """Area of one instance of ``component``."""
+        ...
+
+
+class SramPlugin:
+    """SRAM/regfile/register model: sqrt-capacity energy scaling."""
+
+    CLASSES = (
+        ComponentClass.SRAM,
+        ComponentClass.REGFILE,
+        ComponentClass.REGISTER,
+    )
+
+    def __init__(self, table: EnergyAreaTable) -> None:
+        self._table = table
+
+    def supports(self, component_class: ComponentClass) -> bool:
+        return component_class in self.CLASSES
+
+    def energy_pj(self, component: Component, action: str) -> float:
+        table = self._table
+        if component.component_class is ComponentClass.REGISTER:
+            if action in ("read", "write"):
+                return table.register_pj
+            raise ArchitectureError(
+                f"register action {action!r} not recognized"
+            )
+        capacity = int(component.attribute("capacity_bytes"))
+        if component.component_class is ComponentClass.SRAM:
+            reference, read, write = (
+                table.sram_ref_bytes,
+                table.sram_read_pj,
+                table.sram_write_pj,
+            )
+            # A partitioned region (e.g. the GLB's data/metadata split,
+            # Table 4) dissipates per the *physical* array it lives in.
+            capacity = int(component.attribute("array_bytes", capacity))
+        else:
+            reference, read, write = (
+                table.regfile_ref_bytes,
+                table.regfile_read_pj,
+                table.regfile_write_pj,
+            )
+        scale = math.sqrt(max(capacity, 1) / reference)
+        if action == "read":
+            return read * scale
+        if action == "write":
+            return write * scale
+        raise ArchitectureError(f"memory action {action!r} not recognized")
+
+    def area_um2(self, component: Component) -> float:
+        table = self._table
+        if component.component_class is ComponentClass.REGISTER:
+            return table.register_area_um2
+        capacity = int(component.attribute("capacity_bytes"))
+        if component.component_class is ComponentClass.SRAM:
+            return capacity * table.sram_area_um2_per_byte
+        return capacity * table.regfile_area_um2_per_byte
+
+
+class DramPlugin:
+    """Vendor-data-style DRAM model: flat per-word access energy."""
+
+    def __init__(self, table: EnergyAreaTable) -> None:
+        self._table = table
+
+    def supports(self, component_class: ComponentClass) -> bool:
+        return component_class is ComponentClass.DRAM
+
+    def energy_pj(self, component: Component, action: str) -> float:
+        if action == "read":
+            return self._table.dram_read_pj
+        if action == "write":
+            return self._table.dram_write_pj
+        raise ArchitectureError(f"DRAM action {action!r} not recognized")
+
+    def area_um2(self, component: Component) -> float:
+        return 0.0  # off-chip
+
+
+class LogicPlugin:
+    """Synthesized-RTL-style model for MACs, muxes, VFMU, intersection,
+    compression and control logic."""
+
+    CLASSES = (
+        ComponentClass.MAC,
+        ComponentClass.MUX,
+        ComponentClass.VFMU,
+        ComponentClass.INTERSECTION,
+        ComponentClass.COMPRESSION,
+        ComponentClass.CONTROL,
+        ComponentClass.NOC,
+    )
+
+    def __init__(self, table: EnergyAreaTable) -> None:
+        self._table = table
+
+    def supports(self, component_class: ComponentClass) -> bool:
+        return component_class in self.CLASSES
+
+    def energy_pj(self, component: Component, action: str) -> float:
+        table = self._table
+        cls = component.component_class
+        if cls is ComponentClass.MAC:
+            if action == "mac":
+                return table.mac_pj
+            if action == "gated_mac":
+                return table.gated_mac_pj
+        elif cls is ComponentClass.MUX:
+            if action == "select":
+                inputs = int(component.attribute("inputs"))
+                width = int(component.attribute("width_bits"))
+                return table.mux_pj_per_input_16b * inputs * (width / 16.0)
+        elif cls is ComponentClass.VFMU:
+            if action == "block_read":
+                return table.vfmu_block_read_pj
+            if action == "shift":
+                return table.vfmu_shift_pj
+            if action == "write_word":
+                return table.vfmu_write_pj_per_word
+        elif cls is ComponentClass.INTERSECTION:
+            if action == "intersect":
+                return table.intersection_pj
+        elif cls is ComponentClass.COMPRESSION:
+            if action == "compress_value":
+                return table.compression_pj_per_value
+        elif cls in (ComponentClass.CONTROL, ComponentClass.NOC):
+            if action == "cycle":
+                return table.control_pj_per_cycle
+        raise ArchitectureError(
+            f"{cls.value} action {action!r} not recognized"
+        )
+
+    def area_um2(self, component: Component) -> float:
+        table = self._table
+        cls = component.component_class
+        if cls is ComponentClass.MAC:
+            return table.mac_area_um2
+        if cls is ComponentClass.MUX:
+            inputs = int(component.attribute("inputs"))
+            width = int(component.attribute("width_bits"))
+            return table.mux_area_um2_per_input_bit * inputs * width
+        if cls is ComponentClass.VFMU:
+            buffer_bytes = int(component.attribute("buffer_bytes"))
+            return (
+                buffer_bytes * table.vfmu_area_um2_per_byte
+                + table.vfmu_control_area_um2
+            )
+        if cls is ComponentClass.INTERSECTION:
+            return table.intersection_area_um2
+        if cls is ComponentClass.COMPRESSION:
+            return table.compression_area_um2
+        if cls in (ComponentClass.CONTROL, ComponentClass.NOC):
+            return table.control_area_um2
+        raise ArchitectureError(f"no area model for {cls.value}")
+
+
+def default_plugins(table: EnergyAreaTable) -> List[EstimationPlugin]:
+    """The shipped plug-in chain (order matters: first match wins)."""
+    return [SramPlugin(table), DramPlugin(table), LogicPlugin(table)]
+
+
+def iter_supported(
+    plugins: Iterable[EstimationPlugin], component_class: ComponentClass
+):
+    """Yield plug-ins that support ``component_class``."""
+    for plugin in plugins:
+        if plugin.supports(component_class):
+            yield plugin

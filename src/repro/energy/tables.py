@@ -1,0 +1,77 @@
+"""Technology constants for the 65 nm-class energy/area characterization.
+
+All values are per-action energies in picojoules for 16-bit datapaths and
+areas in square micrometres. The *absolute* values are representative of
+published 65 nm numbers; the paper's conclusions are all relative
+(normalized EDP), which these tables preserve because every design is
+costed from the same table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyAreaTable:
+    """The constants consumed by the estimation plug-ins."""
+
+    # --- compute -----------------------------------------------------
+    #: Full 16-bit multiply-accumulate.
+    mac_pj: float = 2.2
+    #: Gated MAC: operands held, clock/data gated (an AND-gate tax).
+    gated_mac_pj: float = 0.12
+    mac_area_um2: float = 1800.0
+
+    # --- memories ----------------------------------------------------
+    #: SRAM read/write per 16-bit word at the reference capacity; scales
+    #: with sqrt(capacity) like bitline/wordline energy.
+    sram_ref_bytes: int = 256 * 1024
+    sram_read_pj: float = 22.0
+    sram_write_pj: float = 25.0
+    sram_area_um2_per_byte: float = 2.8
+    #: Register files (small SRAM / latch arrays).
+    regfile_ref_bytes: int = 2 * 1024
+    regfile_read_pj: float = 1.4
+    regfile_write_pj: float = 1.6
+    regfile_area_um2_per_byte: float = 6.0
+    #: Pipeline/operand registers.
+    register_pj: float = 0.15
+    register_area_um2: float = 120.0
+    #: LPDDR4-class DRAM access per 16-bit word.
+    dram_read_pj: float = 150.0
+    dram_write_pj: float = 160.0
+
+    # --- sparsity acceleration features -------------------------------
+    #: Mux select energy per output value, per input line, per 16 bits
+    #: of width (an H-to-1 mux costs ~H of these). A 4-to-1 16-bit
+    #: select is ~1.5% of a MAC — the "very low" tax of Table 1.
+    mux_pj_per_input_16b: float = 0.008
+    mux_area_um2_per_input_bit: float = 1.8
+    #: VFMU: variable-shift block read (registers + shift network).
+    vfmu_block_read_pj: float = 0.6
+    vfmu_shift_pj: float = 0.2
+    vfmu_write_pj_per_word: float = 0.15
+    vfmu_area_um2_per_byte: float = 6.0
+    vfmu_control_area_um2: float = 12000.0
+    #: Unstructured intersection (prefix-sum style, as in SparTen, whose
+    #: prefix logic occupies 55% of PE area — hence the large constants).
+    intersection_pj: float = 2.2
+    intersection_area_um2: float = 1500.0
+    #: Activation compression unit, per value compressed.
+    compression_pj_per_value: float = 0.5
+    compression_area_um2: float = 50000.0
+    #: Control overhead attributed per design (sequencers, NoC, AGEN).
+    control_area_um2: float = 80000.0
+    control_pj_per_cycle: float = 1.0
+
+    #: Metadata is stored/streamed as 16-bit words alongside data.
+    word_bits: int = 16
+
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def default_table() -> EnergyAreaTable:
+    """The table used by all shipped experiments."""
+    return EnergyAreaTable()

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SpecificationError(ReproError):
+    """An invalid sparsity specification (bad rank order, bad rule, ...)."""
+
+
+class PatternError(SpecificationError):
+    """An invalid G:H pattern (e.g. G > H, non-positive values)."""
+
+
+class SparsificationError(ReproError):
+    """A tensor could not be sparsified to the requested pattern."""
+
+
+class ConformanceError(ReproError):
+    """A tensor does not conform to the sparsity pattern it claims."""
+
+
+class CompressionError(ReproError):
+    """A tensor could not be compressed or decompressed."""
+
+
+class ArchitectureError(ReproError):
+    """An invalid architecture description or resource allocation."""
+
+
+class ModelError(ReproError):
+    """The analytical performance model was given inconsistent inputs."""
+
+
+class UnsupportedWorkloadError(ModelError):
+    """A design cannot process the given workload (e.g. S2TA on dense)."""
+
+
+class SimulationError(ReproError):
+    """The functional micro-architecture simulator hit an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload description (bad shapes, bad density)."""
+
+
+class PruningError(ReproError):
+    """The pruning/fine-tuning pipeline was misconfigured."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness failure (unknown experiment, bad sweep)."""

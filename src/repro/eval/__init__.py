@@ -1,0 +1,27 @@
+"""Experiment harness: realizations, sweeps, Pareto, reporting.
+
+:mod:`repro.eval.harness` applies the paper's evaluation rules (each
+design gets each sparsity *degree* realized in the structure flavor it
+supports, and operands may be swapped — Sec. 7.1); the experiment
+functions in :mod:`repro.eval.experiments` regenerate every figure and
+table of the evaluation section; :mod:`repro.eval.reporting` prints
+them in the same rows/series the paper reports.
+"""
+
+from repro.eval.harness import (
+    evaluate_cell,
+    realize_workloads,
+    workload_for_layer,
+)
+from repro.eval.pareto import pareto_frontier, is_on_frontier
+from repro.eval import experiments, reporting
+
+__all__ = [
+    "evaluate_cell",
+    "realize_workloads",
+    "workload_for_layer",
+    "pareto_frontier",
+    "is_on_frontier",
+    "experiments",
+    "reporting",
+]

@@ -1,0 +1,44 @@
+"""Pareto-frontier utilities for the Fig. 15 accuracy/EDP analysis."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]  # (accuracy loss pct, normalized EDP)
+
+
+def dominates(first: Point, second: Point, tolerance: float = 0.0) -> bool:
+    """Whether ``first`` dominates ``second`` (<= on both axes, < on one).
+
+    ``tolerance`` treats near-ties as non-dominating (plot resolution).
+    """
+    loss_a, edp_a = first
+    loss_b, edp_b = second
+    no_worse = (
+        loss_a <= loss_b + tolerance and edp_a <= edp_b + tolerance
+    )
+    strictly_better = loss_a < loss_b - tolerance or edp_a < edp_b - tolerance
+    return no_worse and strictly_better
+
+
+def pareto_frontier(points: Sequence[Point]) -> List[Point]:
+    """The non-dominated subset, sorted by accuracy loss."""
+    frontier = [
+        p
+        for p in points
+        if not any(dominates(q, p) for q in points if q != p)
+    ]
+    return sorted(set(frontier))
+
+
+def is_on_frontier(
+    point: Point, points: Sequence[Point], tolerance: float = 1e-9
+) -> bool:
+    """Whether ``point`` is non-dominated within ``points``.
+
+    Used for the paper's headline "HighLight always sits on the
+    EDP-accuracy Pareto frontier".
+    """
+    return not any(
+        dominates(q, point, tolerance) for q in points if q != point
+    )

@@ -1,0 +1,54 @@
+"""Construct fibertrees from dense numpy arrays."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.fibertree.fiber import Fiber
+from repro.fibertree.tensor import FiberTensor
+
+
+def from_dense(
+    array: np.ndarray,
+    rank_names: Sequence[str],
+    keep_zeros: bool = False,
+) -> FiberTensor:
+    """Build a :class:`FiberTensor` from a dense array.
+
+    By default zero values are *not* inserted (their coordinates are
+    pruned), so the resulting tree directly reflects the sparsity of the
+    array. Pass ``keep_zeros=True`` to build the fully dense tree of
+    Fig. 3(b), which is the starting point for specification examples.
+    """
+    array = np.asarray(array)
+    names = tuple(rank_names)
+    if array.ndim != len(names):
+        raise SpecificationError(
+            f"array has {array.ndim} dims but {len(names)} rank names given"
+        )
+    if array.ndim == 0:
+        raise SpecificationError("cannot build a fibertree from a scalar")
+    root = _build_fiber(array, keep_zeros)
+    if root is None:
+        root = Fiber(array.shape[0])
+    return FiberTensor(names, root)
+
+
+def _build_fiber(array: np.ndarray, keep_zeros: bool):
+    """Recursively build the fiber for ``array``; ``None`` if all-zero."""
+    fiber = Fiber(array.shape[0])
+    if array.ndim == 1:
+        for coordinate, value in enumerate(array):
+            if keep_zeros or value != 0:
+                fiber.set_payload(int(coordinate), value.item())
+    else:
+        for coordinate in range(array.shape[0]):
+            child = _build_fiber(array[coordinate], keep_zeros)
+            if child is not None:
+                fiber.set_payload(coordinate, child)
+    if fiber.occupancy == 0 and not keep_zeros:
+        return None
+    return fiber

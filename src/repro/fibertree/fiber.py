@@ -1,0 +1,126 @@
+"""The :class:`Fiber` data structure: one node of a fibertree.
+
+A fiber is an ordered mapping from integer *coordinates* to *payloads*.
+For intermediate ranks the payload of a coordinate is a :class:`Fiber`
+from the next-lower rank; for the lowest rank the payload is a value.
+
+The paper (Sec. 3.1) defines two key per-fiber quantities which we expose
+directly:
+
+* ``shape`` — the total number of coordinate slots the fiber spans
+  (the H of a G:H rule applies to the fiber shape).
+* ``occupancy`` — the number of coordinates present, i.e. associated
+  with nonzero (sub)content (the G of a G:H rule bounds the occupancy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class Fiber:
+    """An ordered set of (coordinate, payload) pairs with a known shape."""
+
+    __slots__ = ("_shape", "_entries")
+
+    def __init__(
+        self,
+        shape: int,
+        entries: Optional[Dict[int, Any]] = None,
+    ) -> None:
+        if shape <= 0:
+            raise ValueError(f"fiber shape must be positive, got {shape}")
+        self._shape = shape
+        self._entries: Dict[int, Any] = {}
+        if entries:
+            for coord, payload in entries.items():
+                self.set_payload(coord, payload)
+
+    @property
+    def shape(self) -> int:
+        """Total number of coordinate slots in the fiber."""
+        return self._shape
+
+    @property
+    def occupancy(self) -> int:
+        """Number of coordinates currently present in the fiber."""
+        return len(self._entries)
+
+    @property
+    def density(self) -> float:
+        """Occupancy as a fraction of shape."""
+        return self.occupancy / self.shape
+
+    def coordinates(self) -> List[int]:
+        """Coordinates present in the fiber, in ascending order."""
+        return sorted(self._entries)
+
+    def payload(self, coordinate: int) -> Any:
+        """Payload at ``coordinate``; raises ``KeyError`` when pruned."""
+        return self._entries[coordinate]
+
+    def get(self, coordinate: int, default: Any = None) -> Any:
+        """Payload at ``coordinate``, or ``default`` when absent."""
+        self._check_coordinate(coordinate)
+        return self._entries.get(coordinate, default)
+
+    def set_payload(self, coordinate: int, payload: Any) -> None:
+        """Insert/replace the payload at ``coordinate``."""
+        self._check_coordinate(coordinate)
+        self._entries[coordinate] = payload
+
+    def prune(self, coordinate: int) -> None:
+        """Remove a coordinate (and, implicitly, its whole subtree).
+
+        Pruning an intermediate-rank coordinate removes its fiber payload,
+        which is exactly the "chained effect" that makes the resulting
+        sparsity *structured* (paper Sec. 3.2).
+        """
+        self._check_coordinate(coordinate)
+        self._entries.pop(coordinate, None)
+
+    def __contains__(self, coordinate: int) -> bool:
+        return coordinate in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[int, Any]]:
+        for coordinate in self.coordinates():
+            yield coordinate, self._entries[coordinate]
+
+    def __len__(self) -> int:
+        return self.occupancy
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fiber):
+            return NotImplemented
+        return self._shape == other._shape and self._entries == other._entries
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{coord}: {payload!r}" for coord, payload in self
+        )
+        return f"Fiber(shape={self._shape}, {{{inner}}})"
+
+    def _check_coordinate(self, coordinate: int) -> None:
+        if not 0 <= coordinate < self._shape:
+            raise IndexError(
+                f"coordinate {coordinate} out of range for shape {self._shape}"
+            )
+
+    def blocks(self, block_size: int) -> List["Fiber"]:
+        """Split this fiber into contiguous fixed-size blocks.
+
+        Used when applying a G:H rule: each block of H coordinate slots is
+        checked/pruned independently. The final block may be a partial
+        block when the shape is not a multiple of ``block_size``.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        blocks: List[Fiber] = []
+        for start in range(0, self._shape, block_size):
+            size = min(block_size, self._shape - start)
+            block = Fiber(size)
+            for coord in range(start, start + size):
+                if coord in self._entries:
+                    block.set_payload(coord - start, self._entries[coord])
+            blocks.append(block)
+        return blocks

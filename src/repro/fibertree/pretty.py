@@ -1,0 +1,50 @@
+"""Text rendering of small fibertrees (for docs, examples and debugging)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fibertree.fiber import Fiber
+from repro.fibertree.tensor import FiberTensor
+
+
+def render(tensor: FiberTensor, max_leaves: int = 64) -> str:
+    """Render a fibertree as an indented text tree.
+
+    Example output for a small ``C->R->S`` tensor::
+
+        C (shape=2)
+        +- 0
+        |  R (shape=2)
+        |  +- 0
+        |  |  S (shape=2): {0: 1.0, 1: 2.0}
+        ...
+    """
+    lines: List[str] = []
+    _render_fiber(tensor.root, tensor.rank_names, 0, "", lines, max_leaves)
+    return "\n".join(lines)
+
+
+def _render_fiber(
+    fiber: Fiber,
+    rank_names,
+    depth: int,
+    indent: str,
+    lines: List[str],
+    max_leaves: int,
+) -> None:
+    name = rank_names[depth]
+    if depth == len(rank_names) - 1:
+        entries = ", ".join(
+            f"{coord}: {value:g}" for coord, value in list(fiber)[:max_leaves]
+        )
+        suffix = ", ..." if fiber.occupancy > max_leaves else ""
+        lines.append(f"{indent}{name} (shape={fiber.shape}): "
+                     f"{{{entries}{suffix}}}")
+        return
+    lines.append(f"{indent}{name} (shape={fiber.shape})")
+    for coordinate, child in fiber:
+        lines.append(f"{indent}+- {coordinate}")
+        _render_fiber(
+            child, rank_names, depth + 1, indent + "|  ", lines, max_leaves
+        )

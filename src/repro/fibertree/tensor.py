@@ -1,0 +1,153 @@
+"""The :class:`FiberTensor`: a named-rank fibertree over a whole tensor."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.fibertree.fiber import Fiber
+
+
+class FiberTensor:
+    """A fibertree with named ranks.
+
+    ``rank_names`` is ordered *highest rank first* (the root of the tree),
+    matching the paper's left-to-right ``->`` notation, e.g. the dense
+    weight tensor of Fig. 3 has ``rank_names=("C", "R", "S")``.
+    """
+
+    def __init__(self, rank_names: Sequence[str], root: Fiber) -> None:
+        names = tuple(rank_names)
+        if not names:
+            raise SpecificationError("a tensor needs at least one rank")
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate rank names in {names}")
+        self._rank_names = names
+        self._root = root
+        self._rank_shapes = self._infer_rank_shapes()
+
+    @property
+    def rank_names(self) -> Tuple[str, ...]:
+        """Rank names, highest rank first."""
+        return self._rank_names
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self._rank_names)
+
+    @property
+    def root(self) -> Fiber:
+        """The root fiber (the single fiber of the highest rank)."""
+        return self._root
+
+    @property
+    def rank_shapes(self) -> Tuple[int, ...]:
+        """Per-rank fiber shapes, highest rank first."""
+        return self._rank_shapes
+
+    def _infer_rank_shapes(self) -> Tuple[int, ...]:
+        shapes: List[int] = [self._root.shape]
+        fiber: Any = self._root
+        for _ in range(self.num_ranks - 1):
+            child = _first_child(fiber)
+            if child is None:
+                # An empty subtree: we cannot see deeper shapes. This only
+                # happens for fully-pruned tensors; report shape 0 markers.
+                shapes.extend([0] * (self.num_ranks - len(shapes)))
+                return tuple(shapes)
+            shapes.append(child.shape)
+            fiber = child
+        return tuple(shapes)
+
+    def rank_index(self, rank_name: str) -> int:
+        """Index of a rank by name (0 is the highest rank)."""
+        try:
+            return self._rank_names.index(rank_name)
+        except ValueError:
+            raise SpecificationError(
+                f"unknown rank {rank_name!r}; tensor has {self._rank_names}"
+            ) from None
+
+    def fibers_at_rank(self, rank: int) -> List[Fiber]:
+        """All fibers belonging to the given rank depth (0 = root rank)."""
+        if not 0 <= rank < self.num_ranks:
+            raise SpecificationError(
+                f"rank {rank} out of range for {self.num_ranks} ranks"
+            )
+        fibers = [self._root]
+        for _ in range(rank):
+            next_level: List[Fiber] = []
+            for fiber in fibers:
+                for _, payload in fiber:
+                    next_level.append(payload)
+            fibers = next_level
+        return fibers
+
+    def leaves(self) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+        """Iterate (coordinate-path, value) pairs for all present values."""
+        yield from _walk(self._root, (), self.num_ranks)
+
+    @property
+    def occupancy(self) -> int:
+        """Total number of present (nonzero) values."""
+        return sum(1 for _ in self.leaves())
+
+    @property
+    def size(self) -> int:
+        """Total number of value slots in the dense envelope."""
+        total = 1
+        for shape in self._rank_shapes:
+            total *= shape
+        return total
+
+    @property
+    def density(self) -> float:
+        """Fraction of value slots that are occupied."""
+        size = self.size
+        return self.occupancy / size if size else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """1 - density (the paper's definition of sparsity degree)."""
+        return 1.0 - self.density
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the tree into a dense numpy array (zeros filled in)."""
+        array = np.zeros(self._rank_shapes, dtype=float)
+        for path, value in self.leaves():
+            array[path] = value
+        return array
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FiberTensor):
+            return NotImplemented
+        return (
+            self._rank_names == other._rank_names
+            and self._root == other._root
+        )
+
+    def __repr__(self) -> str:
+        ranks = "->".join(self._rank_names)
+        return (
+            f"FiberTensor({ranks}, shapes={self._rank_shapes}, "
+            f"occupancy={self.occupancy}/{self.size})"
+        )
+
+
+def _first_child(fiber: Fiber) -> Any:
+    for _, payload in fiber:
+        return payload
+    return None
+
+
+def _walk(
+    fiber: Fiber, prefix: Tuple[int, ...], ranks_left: int
+) -> Iterator[Tuple[Tuple[int, ...], Any]]:
+    if ranks_left == 1:
+        for coordinate, value in fiber:
+            yield prefix + (coordinate,), value
+        return
+    for coordinate, child in fiber:
+        yield from _walk(child, prefix + (coordinate,), ranks_left - 1)

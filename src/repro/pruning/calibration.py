@@ -1,0 +1,154 @@
+"""Empirical calibration of the accuracy-model assumptions.
+
+The Fig. 15 accuracy axis uses a calibrated parametric model (see
+DESIGN.md substitutions). Its two load-bearing assumptions are that
+post-fine-tuning accuracy loss is (a) monotone in sparsity and (b)
+monotone in pattern rigidity at a fixed degree. This module *measures*
+both on the real (numpy) prune + masked-fine-tune pipeline over
+synthetic data, so the substitution is backed by an experiment the
+repository actually runs.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pruning.finetune import (
+    MaskedMLP,
+    TrainConfig,
+    make_blobs,
+    prune_and_finetune,
+    train_dense,
+)
+from repro.pruning.schemes import (
+    ChannelScheme,
+    HSSScheme,
+    PruningScheme,
+    UnstructuredScheme,
+)
+from repro.sparsity.hss import HSSPattern
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One (scheme, degree) measurement."""
+
+    scheme: str
+    granularity: float
+    target_sparsity: float
+    measured_sparsity: float
+    loss_pct: float  # accuracy loss vs dense, percentage points
+
+
+def scheme_ladders() -> Dict[str, List[PruningScheme]]:
+    """Comparable degree ladders per scheme family."""
+    return {
+        "unstructured": [
+            UnstructuredScheme(s) for s in (0.5, 0.625, 0.75, 0.875)
+        ],
+        "hss": [
+            HSSScheme(HSSPattern.from_ratios((2, 4), (4, 4))),
+            HSSScheme(HSSPattern.from_ratios((2, 4), (3, 4))),
+            HSSScheme(HSSPattern.from_ratios((2, 4), (2, 4))),
+            HSSScheme(HSSPattern.from_ratios((2, 4), (1, 4))),
+        ],
+        "channel": [
+            ChannelScheme(s) for s in (0.5, 0.625, 0.75, 0.875)
+        ],
+    }
+
+
+def run_calibration(
+    config: Optional[TrainConfig] = None,
+    num_samples: int = 1500,
+    num_features: int = 48,
+    num_classes: int = 6,
+) -> List[CalibrationPoint]:
+    """Measure loss-vs-degree for every scheme ladder."""
+    config = config or TrainConfig(hidden=64, epochs=12)
+    x, y = make_blobs(num_samples, num_features, num_classes)
+    dense = train_dense(x, y, config)
+    points: List[CalibrationPoint] = []
+    for family, ladder in scheme_ladders().items():
+        for scheme in ladder:
+            model = copy.deepcopy(dense)
+            result = prune_and_finetune(model, scheme, x, y, config)
+            points.append(
+                CalibrationPoint(
+                    scheme=family,
+                    granularity=scheme.granularity_factor,
+                    target_sparsity=scheme.sparsity,
+                    measured_sparsity=result.weight_sparsity,
+                    loss_pct=100.0 * result.final_loss,
+                )
+            )
+    return points
+
+
+def check_monotone_in_sparsity(
+    points: Sequence[CalibrationPoint], slack_pct: float = 1.0
+) -> bool:
+    """Within each family, loss never *drops* by more than the slack
+    as sparsity grows (SGD noise allows small inversions)."""
+    by_family: Dict[str, List[CalibrationPoint]] = {}
+    for point in points:
+        by_family.setdefault(point.scheme, []).append(point)
+    for family_points in by_family.values():
+        ordered = sorted(family_points, key=lambda p: p.target_sparsity)
+        running_max = float("-inf")
+        for point in ordered:
+            if point.loss_pct < running_max - slack_pct:
+                return False
+            running_max = max(running_max, point.loss_pct)
+    return True
+
+
+def check_granularity_ordering(
+    points: Sequence[CalibrationPoint], slack_pct: float = 1.0
+) -> bool:
+    """At matching degrees, the rigid channel scheme never beats the
+    flexible schemes by more than the slack."""
+    by_degree: Dict[float, Dict[str, float]] = {}
+    for point in points:
+        by_degree.setdefault(
+            round(point.target_sparsity, 3), {}
+        )[point.scheme] = point.loss_pct
+    for losses in by_degree.values():
+        if "channel" in losses and "unstructured" in losses:
+            if losses["channel"] < losses["unstructured"] - slack_pct:
+                return False
+        if "channel" in losses and "hss" in losses:
+            if losses["channel"] < losses["hss"] - slack_pct:
+                return False
+    return True
+
+
+def summarize_calibration(
+    points: Sequence[CalibrationPoint],
+) -> str:
+    lines = [
+        f"{'scheme':14s} {'target':>7s} {'measured':>9s} {'loss (pct)':>11s}"
+    ]
+    for point in sorted(
+        points, key=lambda p: (p.scheme, p.target_sparsity)
+    ):
+        lines.append(
+            f"{point.scheme:14s} {point.target_sparsity:7.1%} "
+            f"{point.measured_sparsity:9.1%} {point.loss_pct:11.2f}"
+        )
+    return "\n".join(lines)
+
+
+def mean_loss_by_family(
+    points: Sequence[CalibrationPoint],
+) -> Dict[str, float]:
+    """Average loss per scheme family (rigidity summary)."""
+    sums: Dict[str, Tuple[float, int]] = {}
+    for point in points:
+        total, count = sums.get(point.scheme, (0.0, 0))
+        sums[point.scheme] = (total + point.loss_pct, count + 1)
+    return {
+        family: total / count for family, (total, count) in sums.items()
+    }

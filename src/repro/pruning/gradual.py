@@ -1,0 +1,104 @@
+"""Gradual HSS pruning schedules (paper Sec. 4.2's "sparsified at once
+or gradually over the process").
+
+The sparsity pattern is orthogonal to the pruning *schedule*: instead
+of masking straight to the final HSS pattern, a gradual schedule walks
+through intermediate degrees — e.g. dense -> C0(2:4) ->
+C1(3:4)->C0(2:4) -> C1(2:4)->C0(2:4) — fine-tuning between steps. Each
+intermediate pattern must be a *refinement* of the previous one (its
+kept set shrinks monotonically) so earlier fine-tuning is never undone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import PruningError
+from repro.pruning.finetune import MaskedMLP, TrainConfig
+from repro.pruning.schemes import HSSScheme
+from repro.sparsity.hss import HSSPattern
+
+
+def is_refinement(coarser: HSSPattern, finer: HSSPattern) -> bool:
+    """Whether ``finer`` keeps a subset of what ``coarser`` keeps.
+
+    Sufficient conditions rank-by-rank: same H with G no larger, for
+    every rank of the coarser pattern (extra ranks in ``finer`` only
+    remove more).
+    """
+    if finer.num_ranks < coarser.num_ranks:
+        return False
+    for level in range(coarser.num_ranks):
+        coarse_rule = coarser.rank(level)
+        fine_rule = finer.rank(level)
+        if fine_rule.h != coarse_rule.h:
+            return False
+        if fine_rule.g > coarse_rule.g:
+            return False
+    return True
+
+
+def validate_schedule(patterns: Sequence[HSSPattern]) -> None:
+    """Raise unless each pattern refines its predecessor."""
+    if not patterns:
+        raise PruningError("empty pruning schedule")
+    for earlier, later in zip(patterns, patterns[1:]):
+        if not is_refinement(earlier, later):
+            raise PruningError(
+                f"{later.succinct()} does not refine "
+                f"{earlier.succinct()}"
+            )
+
+
+@dataclass(frozen=True)
+class GradualStepResult:
+    """Accuracy record of one schedule step."""
+
+    pattern: HSSPattern
+    sparsity: float
+    accuracy_after_mask: float
+    accuracy_after_finetune: float
+
+
+def gradual_prune(
+    model: MaskedMLP,
+    schedule: Sequence[HSSPattern],
+    x: np.ndarray,
+    y: np.ndarray,
+    config: Optional[TrainConfig] = None,
+    epochs_per_step: int = 5,
+) -> List[GradualStepResult]:
+    """Walk ``model`` through the schedule with fine-tuning between
+    steps; returns the per-step accuracy trajectory."""
+    validate_schedule(schedule)
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed + 7)
+    results: List[GradualStepResult] = []
+    for pattern in schedule:
+        model.install_masks(HSSScheme(pattern))
+        after_mask = model.accuracy(x, y)
+        for _ in range(epochs_per_step):
+            model.train_epoch(
+                x, y, config.learning_rate, config.batch_size, rng
+            )
+        results.append(
+            GradualStepResult(
+                pattern=pattern,
+                sparsity=model.weight_sparsity,
+                accuracy_after_mask=after_mask,
+                accuracy_after_finetune=model.accuracy(x, y),
+            )
+        )
+    return results
+
+
+def default_schedule() -> List[HSSPattern]:
+    """A canonical dense-to-75% refinement ladder."""
+    return [
+        HSSPattern.from_ratios((2, 4), (4, 4)),  # 50%
+        HSSPattern.from_ratios((2, 4), (3, 4)),  # 62.5%
+        HSSPattern.from_ratios((2, 4), (2, 4)),  # 75%
+    ]

@@ -1,0 +1,30 @@
+"""Mask construction: the static-masking step of the STC algorithm [32].
+
+The pruning algorithm first masks weights (and their gradients) to zero
+based on the scheme's sparsification rule, then fine-tunes. The mask is
+the set of kept positions; it stays fixed during fine-tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PruningError
+from repro.pruning.schemes import PruningScheme
+
+
+def mask_for(weights: np.ndarray, scheme: PruningScheme) -> np.ndarray:
+    """Boolean keep-mask for ``weights`` under ``scheme``."""
+    pruned = scheme.prune(np.asarray(weights, dtype=float))
+    return pruned != 0
+
+
+def apply_mask(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Zero out the masked-away entries of ``values``."""
+    values = np.asarray(values, dtype=float)
+    mask = np.asarray(mask, dtype=bool)
+    if values.shape != mask.shape:
+        raise PruningError(
+            f"mask shape {mask.shape} != values shape {values.shape}"
+        )
+    return values * mask

@@ -1,0 +1,145 @@
+"""Composable pruning schemes (Condensa-style).
+
+A scheme decides *which* weights to zero for a given target pattern;
+the masking/fine-tuning machinery is shared. Each scheme exposes the
+pattern-granularity factor consumed by the calibrated accuracy model:
+coarser constraints recover less accuracy at the same sparsity degree.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PruningError
+from repro.sparsity.hss import HSSPattern
+from repro.sparsity.sparsify import (
+    scaled_l2_norm,
+    sparsify,
+    sparsify_unstructured,
+)
+
+
+class PruningScheme(abc.ABC):
+    """One way of introducing zeros into a weight matrix."""
+
+    @property
+    @abc.abstractmethod
+    def sparsity(self) -> float:
+        """Target sparsity degree in [0, 1)."""
+
+    @property
+    @abc.abstractmethod
+    def granularity_factor(self) -> float:
+        """Accuracy-degradation factor of the pattern's rigidity.
+
+        1.0 for unconstrained (unstructured) pruning; larger for more
+        constrained patterns (they must sometimes keep less-important
+        weights to satisfy the structure).
+        """
+
+    @abc.abstractmethod
+    def prune(self, weights: np.ndarray) -> np.ndarray:
+        """Return a pruned copy of ``weights``."""
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.sparsity:.1%})"
+
+
+@dataclass(frozen=True)
+class UnstructuredScheme(PruningScheme):
+    """Global magnitude pruning with no location constraints."""
+
+    target_sparsity: float
+
+    @property
+    def sparsity(self) -> float:
+        return self.target_sparsity
+
+    @property
+    def granularity_factor(self) -> float:
+        return 1.0
+
+    def prune(self, weights: np.ndarray) -> np.ndarray:
+        return sparsify_unstructured(weights, self.target_sparsity)
+
+
+@dataclass(frozen=True)
+class StructuredGHScheme(PruningScheme):
+    """One-rank G:H pruning along the last axis (e.g. 2:4, 4:16)."""
+
+    g: int
+    h: int
+
+    @property
+    def pattern(self) -> HSSPattern:
+        return HSSPattern.from_ratios((self.g, self.h))
+
+    @property
+    def sparsity(self) -> float:
+        return self.pattern.sparsity
+
+    @property
+    def granularity_factor(self) -> float:
+        # A single fine-grained rank constrains choice within every
+        # block of H; the cost grows mildly as H shrinks relative to G.
+        return 1.06
+
+    def prune(self, weights: np.ndarray) -> np.ndarray:
+        return sparsify(weights, self.pattern, axis=-1)
+
+
+@dataclass(frozen=True)
+class HSSScheme(PruningScheme):
+    """Hierarchical structured sparsity (the paper's Sec. 4.2 scheme)."""
+
+    hss: HSSPattern
+
+    @property
+    def sparsity(self) -> float:
+        return self.hss.sparsity
+
+    @property
+    def granularity_factor(self) -> float:
+        # Two simple ranks constrain slightly less than one rank at the
+        # same overall degree (larger effective freedom per block),
+        # but slightly more than unstructured.
+        return 1.04
+
+    def prune(self, weights: np.ndarray) -> np.ndarray:
+        return sparsify(weights, self.hss, axis=-1)
+
+    def describe(self) -> str:
+        return f"HSSScheme({self.hss.succinct()})"
+
+
+@dataclass(frozen=True)
+class ChannelScheme(PruningScheme):
+    """Remove whole input channels (rows/column groups) by scaled L2
+    norm — the coarsest structure (Fig. 4(a))."""
+
+    target_sparsity: float
+
+    @property
+    def sparsity(self) -> float:
+        return self.target_sparsity
+
+    @property
+    def granularity_factor(self) -> float:
+        return 1.5
+
+    def prune(self, weights: np.ndarray) -> np.ndarray:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise PruningError("ChannelScheme expects a 2-D weight matrix")
+        # Score each input channel (column) by its scaled L2 norm.
+        scores = scaled_l2_norm(weights.T)
+        num_prune = int(round(self.target_sparsity * weights.shape[1]))
+        if num_prune == 0:
+            return weights.copy()
+        drop = np.argsort(scores, kind="stable")[:num_prune]
+        out = weights.copy()
+        out[:, drop] = 0.0
+        return out

@@ -1,0 +1,157 @@
+"""JSON-friendly serialization of the library's core objects.
+
+Experiment configurations and results need to round-trip through plain
+dicts (for JSON files, sweep manifests, result archives). Covered
+objects: :class:`GH`/:class:`HSSPattern`, :class:`SparsitySpec`,
+:class:`OperandSparsity`/:class:`MatmulWorkload`, and
+:class:`Metrics`. Every ``*_to_dict`` output round-trips through the
+matching ``*_from_dict``; the dict formats are stable and versioned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import SpecificationError
+from repro.model.metrics import Metrics
+from repro.model.workload import (
+    MatmulWorkload,
+    OperandSparsity,
+    Structure,
+)
+from repro.sparsity.hss import HSSPattern
+from repro.sparsity.pattern import GH
+from repro.sparsity.spec import SparsitySpec, parse_spec
+
+FORMAT_VERSION = 1
+
+
+def _tagged(kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {"kind": kind, "version": FORMAT_VERSION, **payload}
+
+
+def _expect(data: Dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict) or data.get("kind") != kind:
+        raise SpecificationError(
+            f"expected a serialized {kind!r}, got {data!r}"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise SpecificationError(
+            f"unsupported {kind} format version {data.get('version')!r}"
+        )
+
+
+# --- patterns ----------------------------------------------------------
+
+
+def pattern_to_dict(pattern: HSSPattern) -> Dict[str, Any]:
+    """Serialize an HSS pattern (ranks lowest first)."""
+    return _tagged(
+        "hss_pattern",
+        {"ranks": [[rank.g, rank.h] for rank in pattern.ranks]},
+    )
+
+
+def pattern_from_dict(data: Dict[str, Any]) -> HSSPattern:
+    _expect(data, "hss_pattern")
+    return HSSPattern(tuple(GH(g, h) for g, h in data["ranks"]))
+
+
+# --- specs -------------------------------------------------------------
+
+
+def spec_to_dict(spec: SparsitySpec) -> Dict[str, Any]:
+    """Serialize a spec via its canonical string form."""
+    return _tagged("sparsity_spec", {"spec": str(spec)})
+
+
+def spec_from_dict(data: Dict[str, Any]) -> SparsitySpec:
+    _expect(data, "sparsity_spec")
+    return parse_spec(data["spec"])
+
+
+# --- workloads -----------------------------------------------------------
+
+
+def operand_to_dict(operand: OperandSparsity) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "density": operand.density,
+        "structure": operand.structure.value,
+    }
+    if operand.pattern is not None:
+        payload["pattern"] = pattern_to_dict(operand.pattern)
+    return _tagged("operand", payload)
+
+
+def operand_from_dict(data: Dict[str, Any]) -> OperandSparsity:
+    _expect(data, "operand")
+    pattern = (
+        pattern_from_dict(data["pattern"]) if "pattern" in data else None
+    )
+    return OperandSparsity(
+        density=float(data["density"]),
+        structure=Structure(data["structure"]),
+        pattern=pattern,
+    )
+
+
+def workload_to_dict(workload: MatmulWorkload) -> Dict[str, Any]:
+    return _tagged(
+        "matmul_workload",
+        {
+            "m": workload.m,
+            "k": workload.k,
+            "n": workload.n,
+            "a": operand_to_dict(workload.a),
+            "b": operand_to_dict(workload.b),
+            "name": workload.name,
+        },
+    )
+
+
+def workload_from_dict(data: Dict[str, Any]) -> MatmulWorkload:
+    _expect(data, "matmul_workload")
+    return MatmulWorkload(
+        m=int(data["m"]),
+        k=int(data["k"]),
+        n=int(data["n"]),
+        a=operand_from_dict(data["a"]),
+        b=operand_from_dict(data["b"]),
+        name=data.get("name", ""),
+    )
+
+
+# --- metrics ---------------------------------------------------------------
+
+
+def metrics_to_dict(metrics: Metrics) -> Dict[str, Any]:
+    """Serialize a result (includes derived EDP for convenience)."""
+    return _tagged(
+        "metrics",
+        {
+            "design": metrics.design,
+            "workload": metrics.workload,
+            "cycles": metrics.cycles,
+            "energy_breakdown_pj": dict(metrics.energy_breakdown_pj),
+            "utilization": metrics.utilization,
+            "supported": metrics.supported,
+            "swapped": metrics.swapped,
+            "edp": metrics.edp,
+        },
+    )
+
+
+def metrics_from_dict(data: Dict[str, Any]) -> Metrics:
+    _expect(data, "metrics")
+    return Metrics(
+        design=data["design"],
+        workload=data["workload"],
+        cycles=float(data["cycles"]),
+        energy_breakdown_pj={
+            key: float(value)
+            for key, value in data["energy_breakdown_pj"].items()
+        },
+        utilization=float(data["utilization"]),
+        supported=bool(data["supported"]),
+        swapped=bool(data["swapped"]),
+    )

@@ -1,0 +1,59 @@
+"""Simulator configuration: the down-sized HighLight of paper Sec. 6."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sparsity.hss import HSSPattern
+from repro.sparsity.pattern import GH
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Hardware parameters of the simulated (down-sized) HighLight.
+
+    The Sec. 6 walkthrough uses two PEs with two MACs each and sparsity
+    support ``C1(2:{2<=H<=4}) -> C0(2:4)``: ``num_pes`` is Rank1's G,
+    ``macs_per_pe`` is Rank0's G, ``h0`` is Rank0's fiber shape and
+    ``h1_max`` bounds Rank1's supported H (the VFMU buffers
+    ``2 x h1_max`` blocks).
+    """
+
+    num_pes: int = 2
+    macs_per_pe: int = 2
+    h0: int = 4
+    h1_max: int = 4
+    #: GLB row width in values (Fig. 11: 16 data words per row).
+    glb_row_values: int = 16
+
+    def __post_init__(self) -> None:
+        for name in (
+            "num_pes", "macs_per_pe", "h0", "h1_max", "glb_row_values",
+        ):
+            if getattr(self, name) <= 0:
+                raise SimulationError(f"{name} must be positive")
+        if self.macs_per_pe > self.h0:
+            raise SimulationError("macs_per_pe (G0) cannot exceed h0")
+
+    def supports(self, pattern: HSSPattern) -> bool:
+        """Whether the simulated hardware can skip this operand-A
+        pattern (G values must match the MAC/PE counts; H within
+        range)."""
+        if pattern.num_ranks != 2:
+            return False
+        rank0, rank1 = pattern.rank(0), pattern.rank(1)
+        return (
+            rank0.g == self.macs_per_pe
+            and rank0.h == self.h0
+            and rank1.g == self.num_pes
+            and rank1.g <= rank1.h <= self.h1_max
+        )
+
+    def example_pattern(self, h1: int = 4) -> HSSPattern:
+        """A supported pattern (defaults to the paper's C1(2:4)->C0(2:4))."""
+        pattern = HSSPattern((GH(self.macs_per_pe, self.h0),
+                              GH(self.num_pes, h1)))
+        if not self.supports(pattern):
+            raise SimulationError(f"pattern {pattern} is not supported")
+        return pattern

@@ -1,0 +1,51 @@
+"""The global buffer (GLB) model: aligned fixed-width row accesses.
+
+Fig. 11: the GLB stores operand B in rows of a fixed number of data
+words; every fetch returns one aligned row — the reason the VFMU exists
+(variable-length block accesses cannot be served by the GLB directly).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.utils import ceil_div
+
+
+class GlobalBuffer:
+    """A read-counted, row-aligned buffer over a 1-D data stream."""
+
+    def __init__(self, data: np.ndarray, row_values: int) -> None:
+        data = np.asarray(data, dtype=float).reshape(-1)
+        if row_values <= 0:
+            raise SimulationError("row_values must be positive")
+        padded = ceil_div(max(data.size, 1), row_values) * row_values
+        self._data = np.zeros(padded, dtype=float)
+        self._data[: data.size] = data
+        self._row_values = row_values
+        self.reads = 0
+
+    @property
+    def num_rows(self) -> int:
+        return self._data.size // self._row_values
+
+    @property
+    def row_values(self) -> int:
+        return self._row_values
+
+    def read_row(self, row: int) -> np.ndarray:
+        """Fetch one aligned row (counted)."""
+        if not 0 <= row < self.num_rows:
+            raise SimulationError(
+                f"GLB row {row} out of range (have {self.num_rows})"
+            )
+        self.reads += 1
+        start = row * self._row_values
+        return self._data[start : start + self._row_values].copy()
+
+    def read_rows(self, first: int, count: int) -> List[np.ndarray]:
+        """Fetch ``count`` consecutive aligned rows."""
+        return [self.read_row(first + index) for index in range(count)]

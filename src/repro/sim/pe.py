@@ -1,0 +1,80 @@
+"""Processing elements: stationary A nonzeros, Rank0 muxing, gating.
+
+Each PE (Fig. 10) holds the (at most G0) nonzero operand-A values of
+one Rank0 block in registers together with their CP offsets; each MAC
+works on one of those nonzeros. Per step the PE receives a candidate
+block of H0 operand-B values; the 4-to-2 mux selects the B value at
+each A nonzero's offset (Rank0 skipping SAF), and the MAC is *gated*
+when the selected B value is zero (operand-B sparsity, Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class ProcessingElement:
+    """One PE: up to ``macs`` stationary A values plus their offsets."""
+
+    def __init__(self, macs: int, h0: int) -> None:
+        if macs <= 0 or h0 <= 0:
+            raise SimulationError("macs and h0 must be positive")
+        self._macs = macs
+        self._h0 = h0
+        self._values: Tuple[float, ...] = ()
+        self._offsets: Tuple[int, ...] = ()
+        # --- statistics -----------------------------------------------
+        self.loads = 0
+        self.mux_selects = 0
+        self.full_macs = 0
+        self.gated_macs = 0
+
+    def load_block(
+        self, values: Sequence[float], offsets: Sequence[int]
+    ) -> None:
+        """Hold one Rank0 block's nonzeros stationary (HSS-operand
+        stationary dataflow, Sec. 6.3.1)."""
+        if len(values) != len(offsets):
+            raise SimulationError("values/offsets length mismatch")
+        if len(values) > self._macs:
+            raise SimulationError(
+                f"block occupancy {len(values)} exceeds {self._macs} MACs"
+            )
+        for offset in offsets:
+            if not 0 <= offset < self._h0:
+                raise SimulationError(f"offset {offset} out of block range")
+        self._values = tuple(float(v) for v in values)
+        self._offsets = tuple(int(o) for o in offsets)
+        self.loads += 1
+
+    def clear(self) -> None:
+        """Idle the PE (its Rank1 group had fewer non-empty blocks)."""
+        self._values = ()
+        self._offsets = ()
+
+    def step(self, b_block: np.ndarray) -> float:
+        """One processing step: partial sum of this PE's products.
+
+        ``b_block`` holds the H0 candidate operand-B values for the
+        block this PE owns.
+        """
+        if b_block.size != self._h0:
+            raise SimulationError(
+                f"expected a block of {self._h0} B values, got {b_block.size}"
+            )
+        partial = 0.0
+        for a_value, offset in zip(self._values, self._offsets):
+            self.mux_selects += 1
+            b_value = float(b_block[offset])
+            if b_value == 0.0:
+                # Gating SAF: the MAC idles; cycles are unaffected so
+                # the spatial accumulation stays in sync (Sec. 6.4).
+                self.gated_macs += 1
+                continue
+            self.full_macs += 1
+            partial += a_value * b_value
+        return partial

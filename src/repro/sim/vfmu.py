@@ -1,0 +1,93 @@
+"""The Variable Fetch Management Unit (paper Sec. 6.3.2, Figs. 11-12).
+
+The VFMU decouples the GLB's aligned fixed-width fetches from the
+variable-length block accesses hierarchical skipping needs: it holds a
+small register buffer, refills it from the GLB in aligned rows, and
+serves "read the next `shift` values" requests. For compressed operand
+B the shift is driven by the per-set nonzero counts, and a GLB fetch is
+skipped whenever enough valid words are already buffered (Fig. 12(b)).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.glb import GlobalBuffer
+
+
+class VariableFetchManagementUnit:
+    """A refillable sliding window over a GLB-resident stream."""
+
+    def __init__(self, glb: GlobalBuffer, capacity_values: int) -> None:
+        if capacity_values < glb.row_values:
+            raise SimulationError(
+                "VFMU buffer must hold at least one GLB row "
+                f"({glb.row_values} values), got {capacity_values}"
+            )
+        self._glb = glb
+        self._capacity = capacity_values
+        self._buffer: List[float] = []
+        self._next_row = 0
+        # --- statistics ------------------------------------------------
+        self.refills = 0
+        self.words_written = 0
+        self.shifts = 0
+        self.block_reads = 0
+        self.skipped_fetches = 0
+
+    @property
+    def valid_entries(self) -> int:
+        return len(self._buffer)
+
+    def _refill_if_needed(self, needed: int) -> None:
+        """Fetch aligned GLB rows until ``needed`` values are buffered.
+
+        When the buffer already holds enough valid entries the fetch is
+        skipped — the metadata catch-up mechanism of Fig. 12(b).
+        """
+        if needed > self._capacity:
+            raise SimulationError(
+                f"request of {needed} values exceeds VFMU capacity "
+                f"{self._capacity}"
+            )
+        if len(self._buffer) >= needed:
+            self.skipped_fetches += 1
+            return
+        while (
+            len(self._buffer) < needed
+            and self._next_row < self._glb.num_rows
+        ):
+            if len(self._buffer) + self._glb.row_values > self._capacity:
+                raise SimulationError(
+                    "VFMU overflow: refill would exceed capacity"
+                )
+            row = self._glb.read_row(self._next_row)
+            self._buffer.extend(float(v) for v in row)
+            self._next_row += 1
+            self.refills += 1
+            self.words_written += self._glb.row_values
+        if len(self._buffer) < needed:
+            raise SimulationError(
+                "GLB stream exhausted before request was satisfied"
+            )
+
+    def read_shift(self, shift: int) -> np.ndarray:
+        """Return the next ``shift`` values and advance the window.
+
+        The shift is the per-step offset signal: a fixed number of
+        blocks for dense operand B (Fig. 11), the encoded nonzero count
+        for compressed operand B (Fig. 12).
+        """
+        if shift < 0:
+            raise SimulationError(f"negative shift {shift}")
+        self.shifts += 1
+        if shift == 0:
+            return np.empty(0, dtype=float)
+        self._refill_if_needed(shift)
+        self.block_reads += 1
+        out = np.array(self._buffer[:shift], dtype=float)
+        del self._buffer[:shift]
+        return out

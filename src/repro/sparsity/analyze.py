@@ -1,0 +1,106 @@
+"""Conformance checking and sparsity measurement for HSS tensors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sparsity.hss import HSSPattern
+from repro.utils import ceil_div
+
+
+def measure_sparsity(array: np.ndarray) -> float:
+    """Measured sparsity: fraction of exactly-zero entries."""
+    array = np.asarray(array)
+    if array.size == 0:
+        return 0.0
+    return float(np.count_nonzero(array == 0) / array.size)
+
+
+def measure_density(array: np.ndarray) -> float:
+    """Measured density: fraction of nonzero entries."""
+    return 1.0 - measure_sparsity(array)
+
+
+@dataclass(frozen=True)
+class RankConformance:
+    """Conformance of one HSS rank: observed vs allowed occupancy."""
+
+    level: int
+    g: int
+    h: int
+    max_occupancy: int
+    num_violations: int
+
+    @property
+    def ok(self) -> bool:
+        return self.num_violations == 0
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Per-rank conformance details for a tensor against a pattern."""
+
+    ranks: Tuple[RankConformance, ...]
+    measured_sparsity: float
+    pattern_sparsity: float
+
+    @property
+    def ok(self) -> bool:
+        return all(rank.ok for rank in self.ranks)
+
+
+def conformance_report(
+    array: np.ndarray, pattern: HSSPattern, axis: int = -1
+) -> ConformanceReport:
+    """Check that ``array`` satisfies ``pattern`` along ``axis``.
+
+    A rank-n fiber conforms when at most G_n of its H_n sub-blocks are
+    non-empty. Trailing partial blocks (axis length not a multiple of
+    the span) are treated as zero-padded.
+    """
+    array = np.asarray(array, dtype=float)
+    moved = np.moveaxis(array, axis, -1)
+    flat = moved.reshape(-1, moved.shape[-1])
+    length = flat.shape[1]
+    span = pattern.block_sizes()[-1]
+    padded = ceil_div(length, span) * span
+    work = np.zeros((flat.shape[0], padded), dtype=float)
+    work[:, :length] = flat
+
+    nonzero = work != 0
+    ranks: List[RankConformance] = []
+    lower_span = 1
+    for level, rule in enumerate(pattern.ranks):
+        # A sub-block is non-empty when any value inside it is nonzero.
+        grouped = nonzero.reshape(
+            nonzero.shape[0], padded // (lower_span * rule.h), rule.h,
+            lower_span,
+        )
+        block_nonempty = grouped.any(axis=-1)
+        occupancy = block_nonempty.sum(axis=-1)
+        violations = int(np.count_nonzero(occupancy > rule.g))
+        ranks.append(
+            RankConformance(
+                level=level,
+                g=rule.g,
+                h=rule.h,
+                max_occupancy=int(occupancy.max(initial=0)),
+                num_violations=violations,
+            )
+        )
+        lower_span *= rule.h
+    return ConformanceReport(
+        ranks=tuple(ranks),
+        measured_sparsity=measure_sparsity(array),
+        pattern_sparsity=pattern.sparsity,
+    )
+
+
+def conforms(
+    array: np.ndarray, pattern: HSSPattern, axis: int = -1
+) -> bool:
+    """Whether ``array`` satisfies ``pattern`` along ``axis``."""
+    return conformance_report(array, pattern, axis).ok

@@ -1,0 +1,179 @@
+"""N-rank HSS patterns and the design-space math of paper Secs. 4-5.
+
+An :class:`HSSPattern` is an ordered list of concrete G:H rules, *lowest
+rank first* (rank 0 is the value rank, matching the paper's C0). The
+overall density is the product of the per-rank fractions and the overall
+sparsity degree is ``1 - prod(G_n/H_n)`` (Sec. 4.1.2).
+
+This module also implements the analyses behind Fig. 6:
+
+* :func:`compose_densities` — composing sets of density fractions
+  multiplicatively (Fig. 1).
+* :func:`supported_degrees` — the distinct overall densities a hardware
+  design supports given per-rank :class:`GHRange` families.
+* :func:`mux_cost` — the muxing sparsity-tax model (Secs. 5.2-5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import PatternError
+from repro.sparsity.pattern import GH, GHRange
+
+
+@dataclass(frozen=True)
+class HSSPattern:
+    """A concrete N-rank HSS instance (rank 0 = lowest/value rank)."""
+
+    ranks: Tuple[GH, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            raise PatternError("an HSS pattern needs at least one rank")
+        for rank in self.ranks:
+            if not isinstance(rank, GH):
+                raise PatternError(
+                    f"HSS ranks must be concrete G:H rules, got {rank!r}"
+                )
+
+    @staticmethod
+    def from_ratios(*ratios: Tuple[int, int]) -> "HSSPattern":
+        """Build from (G, H) tuples given lowest rank first.
+
+        >>> HSSPattern.from_ratios((2, 4), (3, 4)).sparsity
+        0.625
+        """
+        return HSSPattern(tuple(GH(g, h) for g, h in ratios))
+
+    @property
+    def num_ranks(self) -> int:
+        """The N of the N-rank HSS."""
+        return len(self.ranks)
+
+    @property
+    def density(self) -> float:
+        """Overall density: product of per-rank G/H fractions."""
+        return float(self.density_fraction)
+
+    @property
+    def density_fraction(self) -> Fraction:
+        result = Fraction(1)
+        for rank in self.ranks:
+            result *= rank.fraction
+        return result
+
+    @property
+    def sparsity(self) -> float:
+        """Overall sparsity degree: 1 - prod(G_n / H_n) (Sec. 4.1.2)."""
+        return 1.0 - self.density
+
+    def rank(self, level: int) -> GH:
+        """The G:H rule at rank ``level`` (0 = lowest)."""
+        return self.ranks[level]
+
+    def block_sizes(self) -> Tuple[int, ...]:
+        """Per-rank block sizes in *values*, lowest rank first.
+
+        Rank 0's block is H0 values; rank 1's block is H1 rank-0 blocks,
+        i.e. H1*H0 values; and so on (the granularity hierarchy of
+        Sec. 4.1.2).
+        """
+        sizes: List[int] = []
+        span = 1
+        for rank in self.ranks:
+            span *= rank.h
+            sizes.append(span)
+        return tuple(sizes)
+
+    def max_speedup(self) -> float:
+        """Ideal skipping speedup when all ranks are skipped: 1/density."""
+        return 1.0 / self.density
+
+    def succinct(self) -> str:
+        """Paper-style short form, highest rank first:
+        ``C1(3:4)->C0(2:4)``."""
+        parts = [
+            f"C{level}({rank})"
+            for level, rank in reversed(list(enumerate(self.ranks)))
+        ]
+        return "->".join(parts)
+
+    def __str__(self) -> str:
+        return self.succinct()
+
+
+def compose_densities(
+    *sets: Iterable[Fraction],
+) -> List[Fraction]:
+    """Compose sets of density fractions by multiplication (Fig. 1).
+
+    Returns the distinct products in descending order. Composing
+    ``{1, 1/2}`` and ``{1, 2/3, 1/2}`` yields six degrees, which is the
+    figure's S0 x S1 example.
+    """
+    products = {Fraction(1)}
+    for density_set in sets:
+        densities = list(density_set)
+        if not densities:
+            raise PatternError("cannot compose an empty density set")
+        products = {p * Fraction(d) for p in products for d in densities}
+    return sorted(products, reverse=True)
+
+
+def supported_degrees(rank_families: Sequence[GHRange]) -> List[Fraction]:
+    """Distinct overall densities supported by per-rank G:H families.
+
+    ``rank_families`` is given lowest rank first. The one-rank design S
+    of Fig. 6 uses ``[GHRange(2, 2, 16)]`` (15 degrees) and the two-rank
+    design SS uses ``[GHRange(2, 2, 4), GHRange(2, 2, 8)]`` (also 15
+    degrees, with much smaller per-rank Hmax).
+    """
+    if not rank_families:
+        raise PatternError("need at least one rank family")
+    return compose_densities(
+        *[family.densities() for family in rank_families]
+    )
+
+
+#: Relative width of an address/pointer mux input vs a data mux input.
+#: Upper-rank SAFs select *blocks* by muxing start/end addresses into the
+#: VFMU's registers (Sec. 6.3.2) rather than muxing full-width data words,
+#: so their per-input cost is the metadata width over the data width
+#: (4-bit offsets vs 16-bit data by default).
+ADDRESS_WIDTH_RATIO = 0.25
+
+
+def mux_cost(
+    rank_families: Sequence[GHRange],
+    address_width_ratio: float = ADDRESS_WIDTH_RATIO,
+) -> float:
+    """Muxing sparsity-tax of a design, in data-mux-input units.
+
+    Model (Secs. 5.2-5.3): supporting a ``G:{..<=H<=Hmax}`` family needs G
+    muxes with Hmax inputs each, so a rank costs ``G * Hmax`` mux inputs
+    — linear in Hmax at fixed G, as the paper states. Rank 0 muxes
+    full-width data; higher ranks mux addresses/pointers, whose inputs
+    are cheaper by ``address_width_ratio``.
+    """
+    if not rank_families:
+        raise PatternError("need at least one rank family")
+    total = 0.0
+    for level, family in enumerate(rank_families):
+        inputs = family.g * family.h_max
+        width = 1.0 if level == 0 else address_width_ratio
+        total += inputs * width
+    return total
+
+
+def fig6_designs() -> Tuple[List[GHRange], List[GHRange]]:
+    """The S (one-rank) and SS (two-rank) designs compared in Fig. 6.
+
+    Both support 15 sparsity degrees across 0%-87.5%; S needs Hmax=16
+    while SS needs Hmax=8 at Rank1 and Hmax=4 at Rank0.
+    """
+    design_s = [GHRange(2, 2, 16)]
+    design_ss = [GHRange(2, 2, 4), GHRange(2, 2, 8)]
+    return design_s, design_ss

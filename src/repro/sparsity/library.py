@@ -1,0 +1,77 @@
+"""Named sparsity specifications from the paper's Tables 2 and 3.
+
+Each entry pairs the conventional (informal) classification with the
+precise fibertree-based specification, demonstrating that the precise
+form distinguishes patterns the informal names conflate (three different
+proposals are all called "sub-channel" in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.sparsity.spec import SparsitySpec, parse_spec
+
+
+@dataclass(frozen=True)
+class NamedPattern:
+    """A sparsity pattern with provenance, for Table 2."""
+
+    source: str
+    conventional_name: str
+    spec: SparsitySpec
+
+
+def table2_patterns() -> Tuple[NamedPattern, ...]:
+    """The example patterns of Table 2, in paper order."""
+    return (
+        NamedPattern(
+            source="Han et al. [15] (Deep Compression)",
+            conventional_name="Unstructured",
+            spec=parse_spec("CRS(unconstrained)"),
+        ),
+        NamedPattern(
+            source="He et al. [17] (channel pruning)",
+            conventional_name="Channel",
+            spec=parse_spec("C(unconstrained)->R->S"),
+        ),
+        NamedPattern(
+            source="Niu et al. [35] (PatDNN)",
+            conventional_name="Sub-kernel",
+            spec=parse_spec("C->RS(1:9)"),
+        ),
+        NamedPattern(
+            source="Mishra et al. [32] (sparse tensor core)",
+            conventional_name="Sub-channel",
+            spec=parse_spec("RS->C1->C0(2:4)"),
+        ),
+        NamedPattern(
+            source="Zhu et al. [60] (vector-wise)",
+            conventional_name="Sub-channel",
+            spec=parse_spec("RS->C1->C0(4:16)"),
+        ),
+        NamedPattern(
+            source="Liu et al. [30] (S2TA)",
+            conventional_name="Sub-channel",
+            spec=parse_spec("RS->C1->C0(4:8)"),
+        ),
+        NamedPattern(
+            source="This work (two-rank HSS, Fig. 5)",
+            conventional_name="Sub-channel",
+            spec=parse_spec("RS->C2->C1(3:4)->C0(2:4)"),
+        ),
+    )
+
+
+# The canonical HSS example used throughout the paper's Sec. 6 walkthrough.
+EXAMPLE_TWO_RANK = parse_spec("RS->C2->C1(3:4)->C0(2:4)")
+
+# NVIDIA sparse tensor core 2:4 (Fig. 4(b)).
+SPARSE_TENSOR_CORE_24 = parse_spec("RS->C1->C0(2:4)")
+
+# Channel-based structured sparsity (Fig. 4(a)).
+CHANNEL_PRUNING = parse_spec("C(unconstrained)->R->S")
+
+# Unstructured sparsity over the fully flattened tensor.
+UNSTRUCTURED = parse_spec("CRS(unconstrained)")

@@ -1,0 +1,164 @@
+"""Per-rank pruning rules: G:H patterns, ranges of patterns, unconstrained.
+
+A *pruning rule* (paper Sec. 3.2) says whether and how coordinates inside
+each fiber of a rank may be pruned:
+
+* :class:`Dense` — no pruning (ranks without a ``(<rule>)`` in the spec).
+* :class:`Unconstrained` — any subset of coordinates may be pruned
+  (unstructured sparsity when applied at the lowest rank, channel
+  sparsity when applied at the top rank).
+* :class:`GH` — at most G of every H coordinates are present, giving a
+  density of exactly G/H for a fully sparsified tensor.
+* :class:`GHRange` — a *family* of G:H rules with fixed G and a range of
+  H values; hardware (Table 3) supports such families, e.g. HighLight's
+  Rank1 supports ``4:{4<=H<=8}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+from repro.errors import PatternError
+from repro.utils import check_fraction
+
+
+@dataclass(frozen=True)
+class Dense:
+    """No pruning at this rank (implicitly fully dense)."""
+
+    def __str__(self) -> str:
+        return "dense"
+
+    @property
+    def density(self) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class Unconstrained:
+    """Coordinates may be pruned arbitrarily (unstructured sparsity)."""
+
+    def __str__(self) -> str:
+        return "unconstrained"
+
+
+@dataclass(frozen=True)
+class GH:
+    """A G:H structured pattern: at most G nonzeros per block of H.
+
+    ``GH(2, 4)`` is the sparse-tensor-core 2:4 pattern; its density is
+    the fraction G/H = 0.5.
+    """
+
+    g: int
+    h: int
+
+    def __post_init__(self) -> None:
+        try:
+            check_fraction("G:H pattern", self.g, self.h)
+        except (TypeError, ValueError) as exc:
+            raise PatternError(str(exc)) from None
+
+    @property
+    def density(self) -> float:
+        """Density contributed by this rank (G/H)."""
+        return self.g / self.h
+
+    @property
+    def fraction(self) -> Fraction:
+        """Exact density as a fraction (used for degree composition)."""
+        return Fraction(self.g, self.h)
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    def __str__(self) -> str:
+        return f"{self.g}:{self.h}"
+
+
+@dataclass(frozen=True)
+class GHRange:
+    """A family of G:H rules with fixed G and H in [h_min, h_max].
+
+    Skipping hardware favours a fixed G equal to (a factor of) the number
+    of parallel units (Sec. 5.1); flexibility then comes from supporting
+    several H values, at a mux cost that grows with ``h_max`` (Sec. 5.2).
+    """
+
+    g: int
+    h_min: int
+    h_max: int
+
+    def __post_init__(self) -> None:
+        if self.g <= 0:
+            raise PatternError(f"G must be positive, got {self.g}")
+        if self.h_min > self.h_max:
+            raise PatternError(
+                f"h_min {self.h_min} exceeds h_max {self.h_max}"
+            )
+        if self.h_min < self.g:
+            raise PatternError(
+                f"h_min {self.h_min} must be at least G {self.g}"
+            )
+
+    def patterns(self) -> List[GH]:
+        """All concrete G:H rules in the family."""
+        return [GH(self.g, h) for h in range(self.h_min, self.h_max + 1)]
+
+    def densities(self) -> List[Fraction]:
+        """Distinct densities expressible by the family, descending."""
+        seen = sorted(
+            {Fraction(self.g, h) for h in range(self.h_min, self.h_max + 1)},
+            reverse=True,
+        )
+        return seen
+
+    def supports(self, pattern: GH) -> bool:
+        """Whether a concrete G:H rule belongs to this family."""
+        return (
+            pattern.g == self.g and self.h_min <= pattern.h <= self.h_max
+        )
+
+    def __str__(self) -> str:
+        if self.h_min == self.h_max:
+            return f"{self.g}:{self.h_min}"
+        return f"{self.g}:{{{self.h_min}<=H<={self.h_max}}}"
+
+
+def parse_rule(text: str):
+    """Parse a rule string: ``dense``, ``unconstrained``, ``G:H`` or
+    ``G:{lo<=H<=hi}``."""
+    text = text.strip()
+    if text.lower() == "dense":
+        return Dense()
+    if text.lower() == "unconstrained":
+        return Unconstrained()
+    if ":" not in text:
+        raise PatternError(f"cannot parse rule {text!r}")
+    g_text, h_text = text.split(":", 1)
+    try:
+        g = int(g_text)
+    except ValueError:
+        raise PatternError(f"bad G in rule {text!r}") from None
+    h_text = h_text.strip()
+    if h_text.startswith("{") and h_text.endswith("}"):
+        bounds = _parse_h_range(h_text[1:-1])
+        return GHRange(g, bounds[0], bounds[1])
+    try:
+        h = int(h_text)
+    except ValueError:
+        raise PatternError(f"bad H in rule {text!r}") from None
+    return GH(g, h)
+
+
+def _parse_h_range(inner: str) -> Tuple[int, int]:
+    parts = inner.split("<=")
+    if len(parts) != 3 or parts[1].strip().upper() != "H":
+        raise PatternError(f"bad H range {{{inner}}}")
+    try:
+        return int(parts[0]), int(parts[2])
+    except ValueError:
+        raise PatternError(f"bad H range bounds in {{{inner}}}") from None

@@ -1,0 +1,168 @@
+"""HSS sparsification of numpy tensors (paper Sec. 4.2).
+
+Sparsification proceeds rank-by-rank in a lower-to-higher fashion:
+
+* at the lowest rank, the values with the smallest magnitude inside each
+  block of H0 are pruned, keeping at most G0;
+* at an intermediate rank n, whole rank-(n-1) blocks are pruned inside
+  each group of Hn blocks, keeping the Gn blocks with the largest
+  *scaled L2 norm* — defined by the paper as the average magnitude of
+  all values in the block's payload.
+
+The functions operate along one axis of a numpy array (the flattened
+channel axis for weights). Axes whose length is not a multiple of the
+pattern's span are handled by zero-padding the trailing partial block;
+padding slots never displace real values because their magnitude is 0.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SparsificationError
+from repro.sparsity.hss import HSSPattern
+from repro.sparsity.pattern import GH
+from repro.utils import ceil_div
+
+
+def scaled_l2_norm(blocks: np.ndarray) -> np.ndarray:
+    """Per-block importance score: the average magnitude of the payload.
+
+    ``blocks`` has block elements on the last axis; the score reduces
+    that axis.
+    """
+    return np.mean(np.abs(blocks), axis=-1)
+
+
+def sparsify(
+    array: np.ndarray, pattern: HSSPattern, axis: int = -1
+) -> np.ndarray:
+    """Return a copy of ``array`` sparsified to ``pattern`` along ``axis``.
+
+    >>> import numpy as np
+    >>> from repro.sparsity import HSSPattern
+    >>> a = np.arange(1.0, 9.0)
+    >>> sparsify(a, HSSPattern.from_ratios((2, 4)))
+    array([0., 0., 3., 4., 0., 0., 7., 8.])
+    """
+    array = np.asarray(array, dtype=float)
+    if array.ndim == 0:
+        raise SparsificationError("cannot sparsify a scalar")
+    moved = np.moveaxis(array, axis, -1)
+    lead_shape = moved.shape[:-1]
+    length = moved.shape[-1]
+    flat = moved.reshape(-1, length)
+
+    span = pattern.block_sizes()[-1]
+    padded_length = ceil_div(length, span) * span
+    work = np.zeros((flat.shape[0], padded_length), dtype=float)
+    work[:, :length] = flat
+
+    result = _sparsify_rows(work, pattern)
+
+    out = result[:, :length].reshape(lead_shape + (length,))
+    return np.moveaxis(out, -1, axis)
+
+
+def _sparsify_rows(rows: np.ndarray, pattern: HSSPattern) -> np.ndarray:
+    """Sparsify each row of a 2-D array whose width is a span multiple."""
+    out = rows.copy()
+    # Rank 0: magnitude pruning inside each block of H0 values.
+    rank0 = pattern.rank(0)
+    out = _prune_rank0(out, rank0)
+    # Intermediate ranks: prune whole lower-rank blocks by scaled L2 norm.
+    span = rank0.h
+    for level in range(1, pattern.num_ranks):
+        rule = pattern.rank(level)
+        out = _prune_intermediate(out, rule, span)
+        span *= rule.h
+    return out
+
+
+def _prune_rank0(rows: np.ndarray, rule: GH) -> np.ndarray:
+    num_rows, width = rows.shape
+    blocks = rows.reshape(num_rows, width // rule.h, rule.h)
+    if rule.g >= rule.h:
+        return rows
+    # Keep the G largest magnitudes per block: zero everything ranked
+    # below the top G. argsort ascending; the first H-G indices go.
+    order = np.argsort(np.abs(blocks), axis=-1, kind="stable")
+    drop = order[..., : rule.h - rule.g]
+    pruned = blocks.copy()
+    np.put_along_axis(pruned, drop, 0.0, axis=-1)
+    return pruned.reshape(num_rows, width)
+
+
+def _prune_intermediate(
+    rows: np.ndarray, rule: GH, lower_span: int
+) -> np.ndarray:
+    """Prune whole lower-rank blocks: keep G of every H blocks."""
+    if rule.g >= rule.h:
+        return rows
+    num_rows, width = rows.shape
+    group_span = lower_span * rule.h
+    if width % group_span:
+        raise SparsificationError(
+            f"row width {width} is not a multiple of the rank span "
+            f"{group_span}"
+        )
+    # (rows, groups, H blocks, lower_span values)
+    grouped = rows.reshape(num_rows, width // group_span, rule.h, lower_span)
+    scores = scaled_l2_norm(grouped)
+    order = np.argsort(scores, axis=-1, kind="stable")
+    drop = order[..., : rule.h - rule.g]
+    pruned = grouped.copy()
+    np.put_along_axis(
+        pruned, drop[..., np.newaxis], 0.0, axis=-2
+    )
+    return pruned.reshape(num_rows, width)
+
+
+def sparsify_unstructured(
+    array: np.ndarray,
+    sparsity: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Unstructured magnitude pruning to a target overall sparsity.
+
+    Used to produce the workloads unstructured-sparse baselines (DSTC)
+    run. Ties at the threshold are broken arbitrarily but
+    deterministically.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise SparsificationError(
+            f"sparsity must be in [0, 1), got {sparsity}"
+        )
+    array = np.asarray(array, dtype=float)
+    flat = array.reshape(-1)
+    num_prune = int(round(sparsity * flat.size))
+    if num_prune == 0:
+        return array.copy()
+    order = np.argsort(np.abs(flat), kind="stable")
+    out = flat.copy()
+    out[order[:num_prune]] = 0.0
+    return out.reshape(array.shape)
+
+
+def random_hss_matrix(
+    rows: int,
+    cols: int,
+    pattern: Optional[HSSPattern],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """A random matrix sparsified to ``pattern`` along its columns.
+
+    With ``pattern=None`` a dense random matrix is returned. Values are
+    drawn away from zero so that kept entries are always nonzero, making
+    measured density equal the pattern density exactly.
+    """
+    rng = rng or np.random.default_rng(0)
+    # Uniform in [0.5, 1.5) with random sign: no accidental zeros.
+    magnitude = rng.uniform(0.5, 1.5, size=(rows, cols))
+    sign = rng.choice([-1.0, 1.0], size=(rows, cols))
+    dense = magnitude * sign
+    if pattern is None:
+        return dense
+    return sparsify(dense, pattern, axis=-1)

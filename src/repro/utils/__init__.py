@@ -1,0 +1,27 @@
+"""Shared utilities: validation helpers, small math helpers, formatting."""
+
+from repro.utils.mathutils import (
+    ceil_div,
+    geomean,
+    is_power_of_two,
+    prod,
+    round_up_to_multiple,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "ceil_div",
+    "geomean",
+    "is_power_of_two",
+    "prod",
+    "round_up_to_multiple",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

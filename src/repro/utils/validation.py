@@ -1,0 +1,41 @@
+"""Argument-validation helpers shared by the public API surface."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_positive(name: str, value: Union[int, float]) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_fraction(name: str, numerator: int, denominator: int) -> None:
+    """Validate a G:H style fraction: integers with 0 < G <= H."""
+    if not isinstance(numerator, int) or not isinstance(denominator, int):
+        raise TypeError(f"{name} must use integer G and H")
+    if denominator <= 0:
+        raise ValueError(f"{name}: H must be positive, got {denominator}")
+    if numerator <= 0:
+        raise ValueError(f"{name}: G must be positive, got {numerator}")
+    if numerator > denominator:
+        raise ValueError(
+            f"{name}: G must not exceed H, got {numerator}:{denominator}"
+        )
+
+
+def check_type(
+    name: str, value: Any, expected: Union[Type, Tuple[Type, ...]]
+) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected}, got {type(value).__name__}: {value!r}"
+        )

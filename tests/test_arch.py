@@ -1,0 +1,125 @@
+"""Tests for architecture descriptions (components, specs, designs)."""
+
+import pytest
+
+from repro.arch import (
+    ArchitectureSpec,
+    Component,
+    ComponentClass,
+    table4,
+)
+from repro.arch.components import mac, mux, regfile, sram
+from repro.arch.designs import (
+    NUM_MACS,
+    dstc_resources,
+    highlight_resources,
+    s2ta_resources,
+    stc_resources,
+    tc_resources,
+)
+from repro.errors import ArchitectureError
+
+
+class TestComponent:
+    def test_attribute_lookup(self):
+        component = sram("glb", 1024)
+        assert component.attribute("capacity_bytes") == 1024
+
+    def test_attribute_default(self):
+        assert sram("glb", 1024).attribute("width", 16) == 16
+
+    def test_attribute_missing_raises(self):
+        with pytest.raises(ArchitectureError):
+            sram("glb", 1024).attribute("banks")
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ArchitectureError):
+            Component("x", ComponentClass.MAC, 0)
+
+    def test_constructors(self):
+        assert mac("m", 4).component_class is ComponentClass.MAC
+        assert regfile("rf", 64).component_class is ComponentClass.REGFILE
+        assert mux("m", 4, 16).attribute("inputs") == 4
+
+
+class TestArchitectureSpec:
+    def spec(self):
+        return ArchitectureSpec(
+            "toy", (mac("macs", 4), sram("glb_data", 64)), 4, 2, 2
+        )
+
+    def test_component_lookup(self):
+        assert self.spec().component("macs").count == 4
+
+    def test_component_missing(self):
+        with pytest.raises(ArchitectureError):
+            self.spec().component("rf")
+
+    def test_has_component(self):
+        assert self.spec().has_component("glb_data")
+        assert not self.spec().has_component("rf")
+
+    def test_grid_must_match_macs(self):
+        with pytest.raises(ArchitectureError):
+            ArchitectureSpec("bad", (mac("macs", 4),), 4, 3, 2)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ArchitectureSpec(
+                "bad", (mac("x", 4), sram("x", 64)), 4, 2, 2
+            )
+
+    def test_components_by_class(self):
+        groups = self.spec().components_by_class()
+        assert [c.name for c in groups["mac"]] == ["macs"]
+
+
+class TestTable4:
+    """The Table 4 resource allocations."""
+
+    def test_five_designs(self):
+        names = [res.arch.name for res in table4()]
+        assert names == ["TC", "STC", "DSTC", "S2TA", "HighLight"]
+
+    def test_all_have_1024_macs(self):
+        for resources in table4():
+            assert resources.arch.num_macs == NUM_MACS == 1024
+
+    def test_tc_glb_320kb(self):
+        assert tc_resources().glb_data_bytes == 320 * 1024
+        assert tc_resources().glb_meta_bytes == 0
+
+    def test_sparse_designs_partition_glb(self):
+        for resources in (
+            stc_resources(), dstc_resources(), s2ta_resources(),
+            highlight_resources(),
+        ):
+            assert resources.glb_data_bytes == 256 * 1024
+            assert resources.glb_meta_bytes == 64 * 1024
+
+    def test_s2ta_small_rf(self):
+        rf = s2ta_resources().arch.component("rf")
+        assert rf.count == 64
+        assert rf.attribute("capacity_bytes") == 64
+
+    def test_tc_rf_allocation(self):
+        rf = tc_resources().arch.component("rf")
+        assert rf.count == 4
+        assert rf.attribute("capacity_bytes") == 2048
+
+    def test_dstc_outer_product_config(self):
+        resources = dstc_resources()
+        assert resources.psum_spatial_reduction == 1
+        assert resources.arch.has_component("accum_buffer")
+        assert resources.arch.has_component("intersection")
+
+    def test_highlight_saf_components(self):
+        arch = highlight_resources().arch
+        for name in ("rank0_mux", "rank1_addr_mux", "vfmu",
+                     "compression_unit"):
+            assert arch.has_component(name)
+
+    def test_inner_product_designs_reduce_spatially(self):
+        for resources in (tc_resources(), stc_resources(),
+                          highlight_resources()):
+            assert resources.psum_spatial_reduction == 32

@@ -1,0 +1,59 @@
+"""Tests for the CLI and the EXPERIMENTS.md report generator."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, main, run_artifacts
+from repro.eval.report import build_report
+
+
+class TestCli:
+    def test_fig6_prints(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "muxing overhead" in out
+
+    def test_tables_print(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "HighLight" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_artifact_registry_complete(self):
+        assert set(ARTIFACTS) == {
+            "tables", "fig2", "fig6", "fig13", "fig14", "fig15",
+            "fig16", "fig17",
+        }
+
+    def test_run_artifacts_fast_subset(self):
+        text = run_artifacts(["fig6"])
+        assert "15 supported densities" in text
+
+    def test_report_written(self, tmp_path, capsys):
+        path = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", str(path)]) == 0
+        content = path.read_text()
+        assert "paper vs. measured" in content
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report()
+
+    def test_covers_every_artifact(self, report):
+        for artifact in (
+            "Tables 1-4", "Fig. 2", "Fig. 6", "Fig. 13", "Fig. 14",
+            "Fig. 15", "Fig. 16", "Fig. 17",
+        ):
+            assert artifact in report
+
+    def test_records_headline_numbers(self, report):
+        assert "6.4x" in report  # the paper's geomean claim
+        assert "5.7%" in report  # the SAF area share
+
+    def test_frontier_flags_positive(self, report):
+        assert "NO" not in report.split("Fig. 15")[1].split("Fig. 16")[0]

@@ -1,0 +1,129 @@
+"""Tests for the baseline compression formats."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    encode_bitmask,
+    encode_cp,
+    encode_run_length,
+    encode_uncompressed,
+)
+from repro.compression.formats import offset_bits
+from repro.errors import CompressionError
+
+
+@pytest.fixture
+def vector(rng):
+    values = rng.normal(size=64)
+    values[rng.random(64) < 0.6] = 0.0
+    return values
+
+
+class TestOffsetBits:
+    def test_power_of_two(self):
+        assert offset_bits(4) == 2
+        assert offset_bits(16) == 4
+
+    def test_non_power_of_two_rounds_up(self):
+        assert offset_bits(3) == 2
+        assert offset_bits(5) == 3
+
+    def test_minimum_one_bit(self):
+        assert offset_bits(1) == 1
+        assert offset_bits(2) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CompressionError):
+            offset_bits(0)
+
+
+class TestUncompressed:
+    def test_round_trip(self, vector):
+        np.testing.assert_allclose(
+            encode_uncompressed(vector).decode(), vector
+        )
+
+    def test_no_metadata(self, vector):
+        assert encode_uncompressed(vector).metadata_bits == 0
+
+    def test_stores_all_slots(self, vector):
+        assert encode_uncompressed(vector).num_stored_values == 64
+
+    def test_rejects_matrix(self):
+        with pytest.raises(CompressionError):
+            encode_uncompressed(np.zeros((2, 2)))
+
+
+class TestBitmask:
+    def test_round_trip(self, vector):
+        np.testing.assert_allclose(encode_bitmask(vector).decode(), vector)
+
+    def test_metadata_one_bit_per_slot(self, vector):
+        assert encode_bitmask(vector).metadata_bits == 64
+
+    def test_stores_only_nonzeros(self, vector):
+        encoded = encode_bitmask(vector)
+        assert encoded.num_stored_values == np.count_nonzero(vector)
+
+    def test_all_zero(self):
+        encoded = encode_bitmask(np.zeros(8))
+        assert encoded.num_stored_values == 0
+        np.testing.assert_allclose(encoded.decode(), np.zeros(8))
+
+
+class TestRunLength:
+    def test_round_trip(self, vector):
+        np.testing.assert_allclose(
+            encode_run_length(vector).decode(), vector
+        )
+
+    def test_long_runs_escaped(self):
+        values = np.zeros(40)
+        values[-1] = 7.0
+        encoded = encode_run_length(values, run_bits=4)
+        # Runs longer than 15 need explicit zero payload entries.
+        assert encoded.num_stored_values > 1
+        np.testing.assert_allclose(encoded.decode(), values)
+
+    def test_metadata_scales_with_payload(self, vector):
+        encoded = encode_run_length(vector, run_bits=4)
+        assert encoded.metadata_bits == 4 * len(encoded.run_lengths)
+
+    def test_dense_vector(self):
+        values = np.arange(1.0, 9.0)
+        encoded = encode_run_length(values)
+        assert encoded.num_stored_values == 8
+        np.testing.assert_allclose(encoded.decode(), values)
+
+
+class TestCP:
+    def test_round_trip_via_occupancies(self, vector):
+        encoded = encode_cp(vector, block_size=4)
+        occupancies = tuple(
+            int(np.count_nonzero(vector[i : i + 4]))
+            for i in range(0, 64, 4)
+        )
+        np.testing.assert_allclose(encoded.decode(occupancies), vector)
+
+    def test_offsets_local_to_block(self, vector):
+        encoded = encode_cp(vector, block_size=4)
+        assert all(0 <= o < 4 for o in encoded.offsets)
+
+    def test_metadata_bits(self, vector):
+        encoded = encode_cp(vector, block_size=4)
+        assert encoded.metadata_bits == 2 * len(encoded.offsets)
+
+    def test_rejects_misaligned_length(self):
+        with pytest.raises(CompressionError):
+            encode_cp(np.zeros(10), block_size=4)
+
+    def test_rejects_bad_occupancies(self, vector):
+        encoded = encode_cp(vector, block_size=4)
+        with pytest.raises(CompressionError):
+            encoded.decode((1,) * 16)
+
+    def test_compression_beats_uncompressed_when_sparse(self, vector):
+        encoded = encode_cp(vector, block_size=4)
+        stored_bits = encoded.num_stored_values * 16 + encoded.metadata_bits
+        assert stored_bits < 64 * 16

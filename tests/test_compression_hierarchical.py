@@ -1,0 +1,105 @@
+"""Tests for hierarchical CP compression (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    decode_hierarchical_cp,
+    encode_hierarchical_cp,
+)
+from repro.errors import CompressionError
+from repro.sparsity import HSSPattern, sparsify
+
+
+@pytest.fixture
+def pattern():
+    return HSSPattern.from_ratios((2, 4), (2, 4))
+
+
+class TestFig9Example:
+    """The exact operand-A row of paper Fig. 9 (values renamed)."""
+
+    def row(self):
+        # Blocks: [a,0,c,0] [0,0,0,0] [j,0,0,k] [0,0,0,0], C1(2:4)->C0(2:4)
+        return np.array(
+            [1.0, 0, 2.0, 0,  0, 0, 0, 0,  3.0, 0, 0, 4.0,  0, 0, 0, 0]
+        )
+
+    def test_rank0_offsets(self, pattern):
+        encoded = encode_hierarchical_cp(self.row(), pattern)
+        assert encoded.rank0_offsets == (0, 2, 0, 3)
+
+    def test_rank1_offsets(self, pattern):
+        """Non-empty blocks are the first and third: positions 0 and 2."""
+        encoded = encode_hierarchical_cp(self.row(), pattern)
+        assert encoded.rank1_offsets == ((0, 0), (0, 2))
+
+    def test_values_packed_in_order(self, pattern):
+        encoded = encode_hierarchical_cp(self.row(), pattern)
+        np.testing.assert_allclose(encoded.values, [1.0, 2.0, 3.0, 4.0])
+
+    def test_metadata_bits(self, pattern):
+        encoded = encode_hierarchical_cp(self.row(), pattern)
+        # 4 nonzeros x 2 bits (rank0) + 2 blocks x 2 bits (rank1).
+        assert encoded.metadata_bits == 4 * 2 + 2 * 2
+
+    def test_round_trip(self, pattern):
+        encoded = encode_hierarchical_cp(self.row(), pattern)
+        np.testing.assert_allclose(
+            decode_hierarchical_cp(encoded), self.row()
+        )
+
+
+class TestGeneral:
+    def test_round_trip_random(self, rng, pattern):
+        row = sparsify(rng.normal(size=128), pattern)
+        encoded = encode_hierarchical_cp(row, pattern)
+        np.testing.assert_allclose(decode_hierarchical_cp(encoded), row)
+
+    def test_one_rank_pattern(self, rng):
+        pattern = HSSPattern.from_ratios((2, 4))
+        row = sparsify(rng.normal(size=32), pattern)
+        encoded = encode_hierarchical_cp(row, pattern)
+        np.testing.assert_allclose(decode_hierarchical_cp(encoded), row)
+
+    def test_unaligned_length_padded(self, rng, pattern):
+        row = sparsify(rng.normal(size=21), pattern)
+        encoded = encode_hierarchical_cp(row, pattern)
+        decoded = decode_hierarchical_cp(encoded)
+        assert decoded.size == 21
+        np.testing.assert_allclose(decoded, row)
+
+    def test_all_zero_row(self, pattern):
+        encoded = encode_hierarchical_cp(np.zeros(32), pattern)
+        assert encoded.num_stored_values == 0
+        assert encoded.metadata_bits == 0
+        np.testing.assert_allclose(
+            decode_hierarchical_cp(encoded), np.zeros(32)
+        )
+
+    def test_rejects_rank0_violation(self, pattern):
+        row = np.array([1.0, 1.0, 1.0, 0.0] + [0.0] * 12)
+        with pytest.raises(CompressionError):
+            encode_hierarchical_cp(row, pattern)
+
+    def test_rejects_rank1_violation(self, pattern):
+        # Three non-empty blocks in one group of four: violates 2:4.
+        row = np.array([1.0, 0, 0, 0,  1.0, 0, 0, 0,  1.0, 0, 0, 0,
+                        0, 0, 0, 0])
+        with pytest.raises(CompressionError):
+            encode_hierarchical_cp(row, pattern)
+
+    def test_rejects_matrix_input(self, pattern):
+        with pytest.raises(CompressionError):
+            encode_hierarchical_cp(np.zeros((2, 2)), pattern)
+
+    def test_rejects_three_rank_pattern(self):
+        pattern = HSSPattern.from_ratios((1, 2), (1, 2), (1, 2))
+        with pytest.raises(CompressionError):
+            encode_hierarchical_cp(np.zeros(8), pattern)
+
+    def test_metadata_smaller_than_bitmask_when_sparse(self, rng, pattern):
+        """Hierarchical CP's metadata beats a flat bitmask at 75%."""
+        row = sparsify(rng.normal(size=256), pattern)
+        encoded = encode_hierarchical_cp(row, pattern)
+        assert encoded.metadata_bits < 256

@@ -1,0 +1,110 @@
+"""Tests for compressed operand B with three-level metadata (Fig. 12)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import decode_operand_b, encode_operand_b
+from repro.errors import CompressionError
+
+
+class TestEncodeDecode:
+    def test_round_trip(self, rng):
+        stream = rng.normal(size=96)
+        stream[rng.random(96) < 0.7] = 0.0
+        encoded = encode_operand_b(
+            stream, rank0_block=4, rank1_block=4, set_size=3
+        )
+        np.testing.assert_allclose(decode_operand_b(encoded), stream)
+
+    def test_round_trip_unaligned(self, rng):
+        stream = rng.normal(size=50)
+        stream[rng.random(50) < 0.5] = 0.0
+        encoded = encode_operand_b(
+            stream, rank0_block=4, rank1_block=2, set_size=3
+        )
+        np.testing.assert_allclose(decode_operand_b(encoded), stream)
+
+    def test_all_zero(self):
+        encoded = encode_operand_b(
+            np.zeros(48), rank0_block=4, rank1_block=4, set_size=3
+        )
+        assert encoded.num_stored_values == 0
+        np.testing.assert_allclose(decode_operand_b(encoded), np.zeros(48))
+
+    def test_dense_stream(self, rng):
+        stream = rng.uniform(1.0, 2.0, size=48)
+        encoded = encode_operand_b(
+            stream, rank0_block=4, rank1_block=4, set_size=3
+        )
+        assert encoded.num_stored_values == 48
+        np.testing.assert_allclose(decode_operand_b(encoded), stream)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(CompressionError):
+            encode_operand_b(np.zeros((2, 2)), 4, 4, 3)
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(CompressionError):
+            encode_operand_b(np.zeros(8), 0, 4, 3)
+        with pytest.raises(CompressionError):
+            encode_operand_b(np.zeros(8), 4, 4, -1)
+
+
+class TestMetadataLevels:
+    def stream(self):
+        # Three Rank1 blocks of 4 values each (rank1_block=1), one set.
+        return np.array([1.0, 0, 2.0, 0,  0, 3.0, 0, 0,  0, 0, 0, 0])
+
+    def encoded(self):
+        return encode_operand_b(
+            self.stream(), rank0_block=4, rank1_block=1, set_size=3
+        )
+
+    def test_set_counts(self):
+        assert self.encoded().set_counts == (3,)
+
+    def test_block_end_addresses_cumulative(self):
+        assert self.encoded().block_end_addresses == (2, 3, 3)
+
+    def test_offsets_rank0_local(self):
+        assert self.encoded().offsets == (0, 2, 1)
+
+    def test_metadata_bits_positive(self):
+        assert self.encoded().metadata_bits > 0
+
+    def test_compression_ratio(self):
+        assert self.encoded().compression_ratio == pytest.approx(4.0)
+
+    def test_compression_ratio_empty(self):
+        encoded = encode_operand_b(np.zeros(12), 4, 1, 3)
+        assert encoded.compression_ratio == float("inf")
+
+
+class TestFig12Shifts:
+    """The shift amounts the VFMU consumes are the per-set counts."""
+
+    def test_shifts_sum_to_total_nonzeros(self, rng):
+        stream = rng.normal(size=144)
+        stream[rng.random(144) < 0.6] = 0.0
+        encoded = encode_operand_b(
+            stream, rank0_block=4, rank1_block=1, set_size=3
+        )
+        assert sum(encoded.set_counts) == encoded.num_stored_values
+
+    def test_counts_match_block_ends(self, rng):
+        stream = rng.normal(size=96)
+        stream[rng.random(96) < 0.4] = 0.0
+        encoded = encode_operand_b(
+            stream, rank0_block=4, rank1_block=2, set_size=2
+        )
+        # Every set's count equals the delta of its boundary addresses.
+        per_set = []
+        for index in range(len(encoded.set_counts)):
+            hi = encoded.block_end_addresses[(index + 1) * 2 - 1]
+            lo = (
+                encoded.block_end_addresses[index * 2 - 1]
+                if index
+                else 0
+            )
+            per_set.append(hi - lo)
+        assert tuple(per_set) == encoded.set_counts

@@ -1,0 +1,160 @@
+"""Tests for DNN layer descriptors, model tables, Toeplitz expansion."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    ConvLayer,
+    LinearLayer,
+    all_models,
+    conv2d_reference,
+    deit_small,
+    linear_reference,
+    matmul,
+    resnet50,
+    toeplitz_expand,
+    transformer_big,
+)
+from repro.dnn.toeplitz import flatten_weights, fold_outputs
+from repro.errors import WorkloadError
+
+
+class TestConvLayer:
+    def layer(self):
+        return ConvLayer("c", 64, 128, 3, 56, stride=1, padding=1)
+
+    def test_output_size_same_padding(self):
+        assert self.layer().output_size == 56
+
+    def test_output_size_stride(self):
+        layer = ConvLayer("c", 3, 64, 7, 224, stride=2, padding=3)
+        assert layer.output_size == 112
+
+    def test_gemm_shape(self):
+        m, k, n = self.layer().gemm_shape()
+        assert (m, k, n) == (128, 64 * 9, 56 * 56)
+
+    def test_macs(self):
+        layer = self.layer()
+        m, k, n = layer.gemm_shape()
+        assert layer.macs == m * k * n
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(WorkloadError):
+            ConvLayer("c", 0, 1, 3, 8)
+
+
+class TestLinearLayer:
+    def test_gemm_shape(self):
+        layer = LinearLayer("fc", 1024, 4096, tokens=128)
+        assert layer.gemm_shape() == (4096, 1024, 128)
+
+    def test_weight_count(self):
+        assert LinearLayer("fc", 10, 20).weight_count == 200
+
+    def test_rejects_bad(self):
+        with pytest.raises(WorkloadError):
+            LinearLayer("fc", 10, 0)
+
+
+class TestModels:
+    def test_three_models(self):
+        names = [model.name for model in all_models()]
+        assert names == ["ResNet50", "DeiT-small", "Transformer-Big"]
+
+    def test_resnet50_weight_count(self):
+        """Conv+FC weights of ResNet50 are ~23.5M."""
+        total = resnet50().total_weights
+        assert 20e6 < total < 28e6
+
+    def test_resnet50_macs(self):
+        """~4.1 GMACs at 224x224."""
+        total = resnet50().total_macs
+        assert 3.5e9 < total < 4.5e9
+
+    def test_resnet50_all_layers_prunable(self):
+        model = resnet50()
+        assert set(model.prunable) == {l.name for l in model.layers}
+
+    def test_resnet50_sparse_activations(self):
+        assert resnet50().activation_sparsity == pytest.approx(0.60)
+
+    def test_deit_small_params(self):
+        """DeiT-small has ~22M parameters."""
+        total = deit_small().total_weights
+        assert 18e6 < total < 26e6
+
+    def test_deit_prunes_only_ff_and_out_proj(self):
+        model = deit_small()
+        assert "qkv_proj" not in model.prunable
+        assert "ff1" in model.prunable
+
+    def test_transformer_big_has_dense_layer(self):
+        model = transformer_big()
+        assert "dec_xattn_kv" not in model.prunable
+
+    def test_transformers_have_dense_activations(self):
+        for model in (deit_small(), transformer_big()):
+            assert model.activation_sparsity <= 0.10
+
+    def test_prunability_ordering(self):
+        """ResNet50 prunes hardest; compact DeiT the least (Sec. 1)."""
+        models = {m.name: m for m in all_models()}
+        assert (
+            models["ResNet50"].prunability
+            > models["Transformer-Big"].prunability
+            > models["DeiT-small"].prunability
+        )
+
+    def test_prunable_layers_helper(self):
+        model = deit_small()
+        names = {layer.name for layer in model.prunable_layers()}
+        assert names == set(model.prunable)
+
+
+class TestToeplitz:
+    def test_matches_direct_convolution(self, rng):
+        weights = rng.normal(size=(4, 3, 3, 3))
+        inputs = rng.normal(size=(3, 8, 8))
+        direct = conv2d_reference(weights, inputs, stride=1, padding=1)
+        expanded = toeplitz_expand(inputs, kernel=3, stride=1, padding=1)
+        gemm = matmul(flatten_weights(weights), expanded)
+        np.testing.assert_allclose(
+            fold_outputs(gemm, 8), direct, atol=1e-10
+        )
+
+    def test_strided_convolution(self, rng):
+        weights = rng.normal(size=(2, 3, 3, 3))
+        inputs = rng.normal(size=(3, 9, 9))
+        direct = conv2d_reference(weights, inputs, stride=2)
+        expanded = toeplitz_expand(inputs, kernel=3, stride=2)
+        gemm = matmul(flatten_weights(weights), expanded)
+        np.testing.assert_allclose(
+            fold_outputs(gemm, direct.shape[1]), direct, atol=1e-10
+        )
+
+    def test_1x1_convolution_is_reshape(self, rng):
+        inputs = rng.normal(size=(5, 4, 4))
+        expanded = toeplitz_expand(inputs, kernel=1)
+        np.testing.assert_allclose(expanded, inputs.reshape(5, 16))
+
+    def test_expansion_shape(self, rng):
+        expanded = toeplitz_expand(
+            rng.normal(size=(3, 8, 8)), kernel=3, padding=1
+        )
+        assert expanded.shape == (27, 64)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(WorkloadError):
+            toeplitz_expand(rng.normal(size=(3, 8, 9)), 3)
+
+    def test_linear_reference(self, rng):
+        weights = rng.normal(size=(4, 6))
+        acts = rng.normal(size=(6, 2))
+        np.testing.assert_allclose(
+            linear_reference(weights, acts), weights @ acts
+        )
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(WorkloadError):
+            matmul(np.zeros((2, 3)), np.zeros((4, 2)))

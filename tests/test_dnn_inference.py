@@ -1,0 +1,70 @@
+"""Tests for whole-network simulated inference."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.inference import (
+    SimulatedConvLayer,
+    SimulatedNetwork,
+    random_network,
+)
+from repro.errors import SimulationError
+from repro.sim import SimConfig
+
+
+class TestRandomNetwork:
+    def test_exact_against_reference(self, rng):
+        network, inputs = random_network((8, 4, 4), rng=rng)
+        simulated, _ = network.forward(inputs)
+        reference = SimulatedNetwork.reference_forward(
+            network.layers, inputs
+        )
+        np.testing.assert_allclose(simulated, reference, atol=1e-9)
+
+    def test_exact_without_compression(self, rng):
+        network, inputs = random_network((8, 4), rng=rng)
+        simulated, _ = network.forward(
+            inputs, compress_activations=False
+        )
+        reference = SimulatedNetwork.reference_forward(
+            network.layers, inputs
+        )
+        np.testing.assert_allclose(simulated, reference, atol=1e-9)
+
+    def test_traces_per_layer(self, rng):
+        network, inputs = random_network((8, 4, 4, 4), rng=rng)
+        _, traces = network.forward(inputs)
+        assert len(traces) == 3
+        for trace in traces:
+            assert trace.stats.steps > 0
+            assert 0.0 <= trace.activation_sparsity <= 1.0
+
+    def test_relu_makes_activations_sparse(self, rng):
+        """The activation-function unit's ReLU zeroes ~half the maps,
+        which the next layer's gating then exploits."""
+        network, inputs = random_network((8, 4, 4), rng=rng)
+        _, traces = network.forward(inputs)
+        assert traces[0].activation_sparsity > 0.2
+        assert traces[1].stats.gated_macs > 0
+
+    def test_three_layer_deep(self, rng):
+        network, inputs = random_network((8, 4, 8, 4), rng=rng)
+        simulated, _ = network.forward(inputs)
+        reference = SimulatedNetwork.reference_forward(
+            network.layers, inputs
+        )
+        np.testing.assert_allclose(simulated, reference, atol=1e-9)
+
+
+class TestValidation:
+    def test_empty_network_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulatedNetwork([])
+
+    def test_layer_kernel_property(self, rng):
+        config = SimConfig()
+        pattern = config.example_pattern()
+        layer = SimulatedConvLayer(
+            weights=np.zeros((2, 8, 3, 3)), pattern=pattern
+        )
+        assert layer.kernel == 3

@@ -1,0 +1,39 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.SpecificationError,
+    errors.PatternError,
+    errors.SparsificationError,
+    errors.ConformanceError,
+    errors.CompressionError,
+    errors.ArchitectureError,
+    errors.ModelError,
+    errors.UnsupportedWorkloadError,
+    errors.SimulationError,
+    errors.WorkloadError,
+    errors.PruningError,
+    errors.EvaluationError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_derives_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+def test_pattern_error_is_specification_error():
+    assert issubclass(errors.PatternError, errors.SpecificationError)
+
+
+def test_unsupported_workload_is_model_error():
+    assert issubclass(errors.UnsupportedWorkloadError, errors.ModelError)
+
+
+def test_catchable_as_base(rng=None):
+    with pytest.raises(errors.ReproError):
+        raise errors.SimulationError("boom")

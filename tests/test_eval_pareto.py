@@ -1,0 +1,44 @@
+"""Tests for Pareto-frontier utilities."""
+
+from repro.eval.pareto import dominates, is_on_frontier, pareto_frontier
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates((0.1, 0.5), (0.2, 0.6))
+
+    def test_better_on_one_axis(self):
+        assert dominates((0.1, 0.5), (0.1, 0.6))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((0.1, 0.5), (0.1, 0.5))
+
+    def test_trade_off_no_domination(self):
+        assert not dominates((0.1, 0.9), (0.5, 0.2))
+        assert not dominates((0.5, 0.2), (0.1, 0.9))
+
+    def test_tolerance_softens(self):
+        assert dominates((0.1, 0.5), (0.1, 0.51))
+        assert not dominates((0.1, 0.5), (0.1, 0.51), tolerance=0.05)
+
+
+class TestFrontier:
+    def test_single_point(self):
+        assert pareto_frontier([(1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_dominated_points_removed(self):
+        points = [(0.1, 0.5), (0.2, 0.6), (0.5, 0.1)]
+        assert pareto_frontier(points) == [(0.1, 0.5), (0.5, 0.1)]
+
+    def test_sorted_by_loss(self):
+        frontier = pareto_frontier([(0.5, 0.1), (0.1, 0.5)])
+        assert frontier == sorted(frontier)
+
+    def test_duplicates_collapse(self):
+        frontier = pareto_frontier([(0.1, 0.5), (0.1, 0.5)])
+        assert frontier == [(0.1, 0.5)]
+
+    def test_is_on_frontier(self):
+        points = [(0.1, 0.5), (0.2, 0.6), (0.5, 0.1)]
+        assert is_on_frontier((0.1, 0.5), points)
+        assert not is_on_frontier((0.2, 0.6), points)

@@ -1,0 +1,70 @@
+"""Tests for the result renderers."""
+
+import pytest
+
+from repro.eval import experiments as E
+from repro.eval.reporting import (
+    format_table,
+    render_fig2,
+    render_fig6,
+    render_fig13,
+    render_fig14,
+    render_fig15,
+    render_fig16,
+    render_fig17,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [["xx", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert len(lines) == 3
+
+    def test_separator_row(self):
+        text = format_table(["col"], [["v"]])
+        assert "---" in text.splitlines()[1]
+
+
+class TestRenderers:
+    @pytest.fixture(scope="class")
+    def sweep(self, estimator):
+        return E.fig13(
+            estimator, size=256, a_degrees=(0.0, 0.75),
+            b_degrees=(0.0, 0.75),
+        )
+
+    def test_fig13_contains_designs_and_cells(self, sweep):
+        text = render_fig13(sweep, "edp")
+        assert "HighLight" in text
+        assert "75%" in text
+        assert "n/s" in text  # S2TA's unsupported dense cell
+
+    def test_fig14_lists_metrics(self, sweep):
+        text = render_fig14(E.fig14(sweep))
+        assert "edp" in text and "ed2" in text
+
+    def test_fig6_text(self):
+        text = render_fig6(E.fig6())
+        assert "15 supported densities" in text
+        assert "x" in text.splitlines()[-1]
+
+    def test_fig16_text(self, estimator):
+        text = render_fig16(E.fig16(estimator))
+        assert "SAF area share" in text
+        assert "%" in text
+
+    def test_fig17_text(self, estimator):
+        text = render_fig17(E.fig17(estimator, size=128))
+        assert "C1(2:4)" in text
+        assert "2.00x" in text
+
+    def test_fig2_text(self, estimator):
+        text = render_fig2(E.fig2(estimator))
+        assert "ResNet50" in text and "Transformer-Big" in text
+
+    def test_fig15_text(self, estimator):
+        text = render_fig15(E.fig15(estimator))
+        assert "on frontier" in text
+        assert "DeiT-small" in text

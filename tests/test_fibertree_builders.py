@@ -1,0 +1,58 @@
+"""Tests for building fibertrees from numpy arrays."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fibertree import from_dense, render
+
+
+class TestFromDense:
+    def test_prunes_zeros_by_default(self):
+        tensor = from_dense(np.array([0.0, 1.0, 0.0, 2.0]), ("K",))
+        assert tensor.occupancy == 2
+
+    def test_prunes_empty_subtrees(self):
+        array = np.zeros((2, 3))
+        array[0, 1] = 5.0
+        tensor = from_dense(array, ("R", "S"))
+        assert tensor.root.coordinates() == [0]
+
+    def test_all_zero_tensor(self):
+        tensor = from_dense(np.zeros((2, 2)), ("R", "S"))
+        assert tensor.occupancy == 0
+        assert tensor.root.shape == 2
+
+    def test_rank_count_mismatch(self):
+        with pytest.raises(SpecificationError):
+            from_dense(np.zeros((2, 2)), ("R",))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(SpecificationError):
+            from_dense(np.array(3.0), ())
+
+    def test_values_preserved(self):
+        array = np.array([[1.5, 0.0], [0.0, -2.5]])
+        tensor = from_dense(array, ("R", "S"))
+        np.testing.assert_allclose(tensor.to_dense(), array)
+
+    def test_one_dimensional(self):
+        tensor = from_dense(np.array([1.0, 2.0]), ("K",))
+        assert tensor.num_ranks == 1
+        assert tensor.rank_shapes == (2,)
+
+
+class TestRender:
+    def test_contains_rank_names(self):
+        tensor = from_dense(np.arange(4.0).reshape(2, 2) + 1, ("R", "S"))
+        text = render(tensor)
+        assert "R (shape=2)" in text
+        assert "S (shape=2)" in text
+
+    def test_leaf_values_shown(self):
+        tensor = from_dense(np.array([[3.0, 0.0]]), ("R", "S"))
+        assert "0: 3" in render(tensor)
+
+    def test_truncates_long_fibers(self):
+        tensor = from_dense(np.arange(1.0, 101.0), ("K",))
+        assert "..." in render(tensor, max_leaves=4)

@@ -1,0 +1,107 @@
+"""Tests for the Fiber data structure."""
+
+import pytest
+
+from repro.fibertree import Fiber
+
+
+class TestConstruction:
+    def test_empty(self):
+        fiber = Fiber(4)
+        assert fiber.shape == 4
+        assert fiber.occupancy == 0
+
+    def test_with_entries(self):
+        fiber = Fiber(4, {0: 1.0, 2: 3.0})
+        assert fiber.occupancy == 2
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Fiber(0)
+
+    def test_rejects_out_of_range_coordinate(self):
+        with pytest.raises(IndexError):
+            Fiber(4, {4: 1.0})
+
+
+class TestAccess:
+    def test_payload(self):
+        fiber = Fiber(4, {1: 2.5})
+        assert fiber.payload(1) == 2.5
+
+    def test_payload_missing_raises(self):
+        with pytest.raises(KeyError):
+            Fiber(4).payload(1)
+
+    def test_get_default(self):
+        assert Fiber(4).get(1, "missing") == "missing"
+
+    def test_contains(self):
+        fiber = Fiber(4, {1: 2.5})
+        assert 1 in fiber
+        assert 0 not in fiber
+
+    def test_coordinates_sorted(self):
+        fiber = Fiber(8, {5: 1, 1: 2, 3: 3})
+        assert fiber.coordinates() == [1, 3, 5]
+
+    def test_iteration_order(self):
+        fiber = Fiber(8, {5: "a", 1: "b"})
+        assert list(fiber) == [(1, "b"), (5, "a")]
+
+
+class TestMutation:
+    def test_set_payload_overwrites(self):
+        fiber = Fiber(4, {0: 1.0})
+        fiber.set_payload(0, 9.0)
+        assert fiber.payload(0) == 9.0
+
+    def test_prune_removes(self):
+        fiber = Fiber(4, {0: 1.0})
+        fiber.prune(0)
+        assert fiber.occupancy == 0
+
+    def test_prune_absent_is_noop(self):
+        fiber = Fiber(4)
+        fiber.prune(2)
+        assert fiber.occupancy == 0
+
+    def test_prune_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Fiber(4).prune(9)
+
+
+class TestDerived:
+    def test_density(self):
+        assert Fiber(4, {0: 1, 1: 2}).density == 0.5
+
+    def test_len(self):
+        assert len(Fiber(4, {0: 1})) == 1
+
+    def test_equality(self):
+        assert Fiber(4, {0: 1.0}) == Fiber(4, {0: 1.0})
+
+    def test_inequality_shape(self):
+        assert Fiber(4, {0: 1.0}) != Fiber(8, {0: 1.0})
+
+    def test_repr_contains_shape(self):
+        assert "shape=4" in repr(Fiber(4))
+
+
+class TestBlocks:
+    def test_even_split(self):
+        fiber = Fiber(8, {0: 1, 5: 2})
+        blocks = fiber.blocks(4)
+        assert len(blocks) == 2
+        assert blocks[0].coordinates() == [0]
+        assert blocks[1].coordinates() == [1]  # 5 -> local coord 1
+
+    def test_partial_final_block(self):
+        fiber = Fiber(6, {5: 9})
+        blocks = fiber.blocks(4)
+        assert blocks[1].shape == 2
+        assert blocks[1].payload(1) == 9
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            Fiber(4).blocks(0)

@@ -1,0 +1,76 @@
+"""Tests for fibertree matmul and effectual-operation counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fibertree.linalg import matmul_dense_check
+from repro.sparsity import HSSPattern, sparsify, sparsify_unstructured
+
+
+class TestCorrectness:
+    def test_dense_matmul(self, rng):
+        a = rng.normal(size=(5, 7))
+        b = rng.normal(size=(7, 3))
+        result, _ = matmul_dense_check(a, b)
+        np.testing.assert_allclose(result, a @ b, atol=1e-12)
+
+    def test_sparse_matmul(self, rng):
+        a = sparsify_unstructured(rng.normal(size=(6, 8)), 0.6)
+        b = sparsify_unstructured(rng.normal(size=(8, 4)), 0.4)
+        result, _ = matmul_dense_check(a, b)
+        np.testing.assert_allclose(result, a @ b, atol=1e-12)
+
+    def test_all_zero_operand(self, rng):
+        a = np.zeros((3, 4))
+        b = rng.normal(size=(4, 2))
+        result, counts = matmul_dense_check(a, b)
+        np.testing.assert_allclose(result, np.zeros((3, 2)))
+        assert counts.effectual_multiplies == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SpecificationError):
+            matmul_dense_check(np.zeros((2, 3)), np.zeros((4, 2)))
+
+
+class TestEffectualCounts:
+    def test_dense_count_is_mkn(self, rng):
+        a = rng.uniform(1, 2, size=(4, 6))
+        b = rng.uniform(1, 2, size=(6, 5))
+        _, counts = matmul_dense_check(a, b)
+        assert counts.effectual_multiplies == 4 * 6 * 5
+        assert counts.effectual_fraction == 1.0
+
+    def test_structured_operand_count_exact(self, rng):
+        """With A at exact density dA and dense B, effectual =
+        M*K*N*dA — the analytical model's core identity."""
+        pattern = HSSPattern.from_ratios((2, 4), (2, 4))
+        a = sparsify(rng.normal(size=(4, 32)), pattern)
+        b = rng.uniform(1, 2, size=(32, 5))
+        _, counts = matmul_dense_check(a, b)
+        assert counts.effectual_multiplies == int(4 * 32 * 5 * 0.25)
+
+    def test_dual_sparse_expected_fraction(self, rng):
+        """Unstructured x unstructured: effectual fraction is close to
+        dA*dB in expectation (law of large numbers)."""
+        a = sparsify_unstructured(rng.normal(size=(32, 128)), 0.5)
+        b = sparsify_unstructured(rng.normal(size=(128, 32)), 0.75)
+        _, counts = matmul_dense_check(a, b)
+        assert counts.effectual_fraction == pytest.approx(
+            0.5 * 0.25, rel=0.15
+        )
+
+    def test_count_matches_analytical_workload(self, rng):
+        from repro.model.workload import MatmulWorkload, hss_operand, \
+            dense_operand
+
+        pattern = HSSPattern.from_ratios((2, 4), (4, 4))
+        a = sparsify(rng.normal(size=(8, 32)), pattern)
+        b = rng.uniform(1, 2, size=(32, 8))
+        _, counts = matmul_dense_check(a, b)
+        workload = MatmulWorkload(
+            m=8, k=32, n=8, a=hss_operand(pattern), b=dense_operand()
+        )
+        assert counts.effectual_multiplies == pytest.approx(
+            workload.effectual_products
+        )

@@ -1,0 +1,99 @@
+"""Tests for fibertree algebra (intersect, union, dot)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fibertree import Fiber
+from repro.fibertree.ops import (
+    dot,
+    intersect,
+    intersection_balance,
+    map_payloads,
+    union,
+)
+
+
+def fiber(shape, entries):
+    return Fiber(shape, entries)
+
+
+class TestIntersect:
+    def test_common_coordinates_only(self):
+        a = fiber(4, {0: 1.0, 2: 2.0})
+        b = fiber(4, {2: 3.0, 3: 4.0})
+        result = intersect(a, b)
+        assert result.coordinates() == [2]
+        assert result.payload(2) == (2.0, 3.0)
+
+    def test_payload_order_preserved_when_b_leads(self):
+        a = fiber(4, {0: 1.0, 1: 5.0, 2: 2.0})
+        b = fiber(4, {1: 7.0})
+        result = intersect(a, b)
+        assert result.payload(1) == (5.0, 7.0)
+
+    def test_empty_intersection(self):
+        a = fiber(4, {0: 1.0})
+        b = fiber(4, {1: 1.0})
+        assert intersect(a, b).occupancy == 0
+
+    def test_dense_sparse(self):
+        dense = fiber(4, {i: 1.0 for i in range(4)})
+        sparse = fiber(4, {1: 2.0, 3: 3.0})
+        assert intersect(dense, sparse).occupancy == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SpecificationError):
+            intersect(fiber(4, {}), fiber(8, {}))
+
+
+class TestUnion:
+    def test_all_coordinates(self):
+        a = fiber(4, {0: 1.0})
+        b = fiber(4, {1: 2.0})
+        result = union(a, b)
+        assert result.coordinates() == [0, 1]
+        assert result.payload(0) == (1.0, None)
+        assert result.payload(1) == (None, 2.0)
+
+    def test_common_coordinate_pairs(self):
+        result = union(fiber(4, {0: 1.0}), fiber(4, {0: 2.0}))
+        assert result.payload(0) == (1.0, 2.0)
+
+
+class TestDot:
+    def test_value_and_effectual_count(self):
+        a = fiber(4, {0: 2.0, 1: 3.0})
+        b = fiber(4, {1: 4.0, 2: 5.0})
+        value, effectual = dot(a, b)
+        assert value == 12.0
+        assert effectual == 1
+
+    def test_dense_dot(self):
+        a = fiber(3, {0: 1.0, 1: 2.0, 2: 3.0})
+        b = fiber(3, {0: 1.0, 1: 1.0, 2: 1.0})
+        value, effectual = dot(a, b)
+        assert value == 6.0
+        assert effectual == 3
+
+
+class TestBalance:
+    def test_dense_sparse_balance_is_exact(self):
+        """Dense-sparse intersections keep every sparse coordinate —
+        the perfectly balanced case of Sec. 7.5."""
+        dense = fiber(8, {i: 1.0 for i in range(8)})
+        sparse = fiber(8, {0: 1.0, 5: 1.0})
+        assert intersection_balance(dense, sparse) == 1.0
+
+    def test_sparse_sparse_balance_varies(self):
+        a = fiber(8, {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0})
+        b = fiber(8, {3: 1.0, 4: 1.0, 5: 1.0, 6: 1.0})
+        assert intersection_balance(a, b) == 0.25
+
+    def test_empty_leader(self):
+        assert intersection_balance(fiber(4, {}), fiber(4, {0: 1})) == 1.0
+
+
+class TestMapPayloads:
+    def test_applies_function(self):
+        result = map_payloads(fiber(4, {0: 2.0, 1: 3.0}), lambda v: v * v)
+        assert result.payload(1) == 9.0

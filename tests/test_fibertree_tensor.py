@@ -1,0 +1,93 @@
+"""Tests for FiberTensor: named ranks over a fibertree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fibertree import FiberTensor, Fiber, from_dense
+
+
+def small_tensor():
+    """The Fig. 3-style (C, R, S) = (2, 2, 2) dense tensor 1..8."""
+    return from_dense(
+        np.arange(1.0, 9.0).reshape(2, 2, 2), ("C", "R", "S"),
+        keep_zeros=True,
+    )
+
+
+class TestBasics:
+    def test_rank_names(self):
+        assert small_tensor().rank_names == ("C", "R", "S")
+
+    def test_num_ranks(self):
+        assert small_tensor().num_ranks == 3
+
+    def test_rank_shapes(self):
+        assert small_tensor().rank_shapes == (2, 2, 2)
+
+    def test_rank_index(self):
+        assert small_tensor().rank_index("R") == 1
+
+    def test_rank_index_unknown(self):
+        with pytest.raises(SpecificationError):
+            small_tensor().rank_index("Z")
+
+    def test_duplicate_rank_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            FiberTensor(("C", "C"), Fiber(2))
+
+    def test_empty_rank_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            FiberTensor((), Fiber(2))
+
+
+class TestContent:
+    def test_size(self):
+        assert small_tensor().size == 8
+
+    def test_occupancy_dense(self):
+        assert small_tensor().occupancy == 8
+
+    def test_density_and_sparsity(self):
+        tensor = from_dense(
+            np.array([[1.0, 0.0], [0.0, 0.0]]), ("R", "S")
+        )
+        assert tensor.density == pytest.approx(0.25)
+        assert tensor.sparsity == pytest.approx(0.75)
+
+    def test_leaves_paths(self):
+        paths = dict(small_tensor().leaves())
+        assert paths[(0, 0, 0)] == 1.0
+        assert paths[(1, 1, 1)] == 8.0
+
+    def test_fibers_at_rank(self):
+        tensor = small_tensor()
+        assert len(tensor.fibers_at_rank(0)) == 1
+        assert len(tensor.fibers_at_rank(1)) == 2
+        assert len(tensor.fibers_at_rank(2)) == 4
+
+    def test_fibers_at_rank_out_of_range(self):
+        with pytest.raises(SpecificationError):
+            small_tensor().fibers_at_rank(3)
+
+
+class TestRoundTrip:
+    def test_to_dense_round_trip(self, rng):
+        array = rng.normal(size=(3, 4, 5))
+        array[rng.random(array.shape) < 0.5] = 0.0
+        tensor = from_dense(array, ("A", "B", "C"))
+        np.testing.assert_allclose(tensor.to_dense(), array)
+
+    def test_keep_zeros_preserves_occupancy(self):
+        array = np.zeros((2, 2))
+        array[0, 0] = 1.0
+        sparse = from_dense(array, ("R", "S"))
+        dense = from_dense(array, ("R", "S"), keep_zeros=True)
+        assert sparse.occupancy == 1
+        assert dense.occupancy == 4
+
+    def test_equality(self):
+        assert small_tensor() == small_tensor()
+
+    def test_repr(self):
+        assert "C->R->S" in repr(small_tensor())

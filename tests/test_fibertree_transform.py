@@ -1,0 +1,113 @@
+"""Tests for fibertree transforms: reorder, flatten, partition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fibertree import flatten, from_dense, partition, reorder
+
+
+@pytest.fixture
+def tensor(rng):
+    array = rng.normal(size=(2, 3, 4))
+    array[rng.random(array.shape) < 0.4] = 0.0
+    return array, from_dense(array, ("C", "R", "S"))
+
+
+class TestReorder:
+    def test_permutes_content(self, tensor):
+        array, tree = tensor
+        reordered = reorder(tree, ("R", "S", "C"))
+        np.testing.assert_allclose(
+            reordered.to_dense(), np.transpose(array, (1, 2, 0))
+        )
+
+    def test_rank_names(self, tensor):
+        _, tree = tensor
+        assert reorder(tree, ("S", "C", "R")).rank_names == ("S", "C", "R")
+
+    def test_identity(self, tensor):
+        array, tree = tensor
+        np.testing.assert_allclose(
+            reorder(tree, ("C", "R", "S")).to_dense(), array
+        )
+
+    def test_rejects_non_permutation(self, tensor):
+        _, tree = tensor
+        with pytest.raises(SpecificationError):
+            reorder(tree, ("C", "R", "Z"))
+
+    def test_preserves_present_zeros(self):
+        array = np.zeros((2, 2))
+        tree = from_dense(array, ("R", "S"), keep_zeros=True)
+        assert reorder(tree, ("S", "R")).occupancy == 4
+
+
+class TestFlatten:
+    def test_flattens_adjacent(self, tensor):
+        array, tree = tensor
+        flat = flatten(tree, ("R", "S"), "RS")
+        assert flat.rank_names == ("C", "RS")
+        np.testing.assert_allclose(
+            flat.to_dense(), array.reshape(2, 12)
+        )
+
+    def test_fig4b_pipeline(self, tensor):
+        """The reorder-then-flatten prefix of the 2:4 spec (Fig. 4(b))."""
+        array, tree = tensor
+        flat = flatten(reorder(tree, ("R", "S", "C")), ("R", "S"), "RS")
+        assert flat.rank_names == ("RS", "C")
+        assert flat.rank_shapes == (12, 2)
+
+    def test_rejects_non_contiguous(self, tensor):
+        _, tree = tensor
+        with pytest.raises(SpecificationError):
+            flatten(tree, ("C", "S"), "CS")
+
+    def test_rejects_single_rank(self, tensor):
+        _, tree = tensor
+        with pytest.raises(SpecificationError):
+            flatten(tree, ("C",), "C2")
+
+    def test_rejects_duplicate_name(self, tensor):
+        _, tree = tensor
+        with pytest.raises(SpecificationError):
+            flatten(tree, ("R", "S"), "C")
+
+
+class TestPartition:
+    def test_splits_rank(self, tensor):
+        array, tree = tensor
+        split = partition(tree, "S", 2, ("S1", "S0"))
+        assert split.rank_names == ("C", "R", "S1", "S0")
+        np.testing.assert_allclose(
+            split.to_dense(), array.reshape(2, 3, 2, 2)
+        )
+
+    def test_pads_partial_blocks(self, tensor):
+        array, tree = tensor
+        split = partition(tree, "S", 3, ("S1", "S0"))
+        assert split.rank_shapes == (2, 3, 2, 3)
+        dense = split.to_dense()
+        np.testing.assert_allclose(dense[..., 0, :], array[..., :3])
+        np.testing.assert_allclose(dense[..., 1, :1], array[..., 3:])
+        assert np.all(dense[..., 1, 1:] == 0)  # padded slots stay empty
+
+    def test_rejects_bad_inner_size(self, tensor):
+        _, tree = tensor
+        with pytest.raises(SpecificationError):
+            partition(tree, "S", 0, ("S1", "S0"))
+
+    def test_rejects_duplicate_names(self, tensor):
+        _, tree = tensor
+        with pytest.raises(SpecificationError):
+            partition(tree, "S", 2, ("C", "S0"))
+
+    def test_fig5_partitioning(self):
+        """C split into C2 -> C1 -> C0 as in the two-rank HSS of Fig. 5."""
+        array = np.arange(32.0).reshape(1, 1, 32) + 1
+        tree = from_dense(array, ("R", "S", "C"), keep_zeros=True)
+        split = partition(tree, "C", 4, ("Ctmp", "C0"))
+        split = partition(split, "Ctmp", 4, ("C2", "C1"))
+        assert split.rank_names == ("R", "S", "C2", "C1", "C0")
+        assert split.rank_shapes == (1, 1, 2, 4, 4)

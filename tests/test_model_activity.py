@@ -1,0 +1,51 @@
+"""Tests for activity-count accumulation and energy conversion."""
+
+import pytest
+
+from repro.arch.designs import tc_resources
+from repro.energy import Estimator
+from repro.errors import ModelError
+from repro.model.activity import ActivityCounts
+
+
+class TestAccumulation:
+    def test_add_accumulates(self):
+        counts = ActivityCounts()
+        counts.add("macs", "mac", 10)
+        counts.add("macs", "mac", 5)
+        assert counts.counts[("macs", "mac")] == 15
+
+    def test_zero_count_ignored(self):
+        counts = ActivityCounts()
+        counts.add("macs", "mac", 0)
+        assert not counts.counts
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            ActivityCounts().add("macs", "mac", -1)
+
+    def test_total_across_actions(self):
+        counts = ActivityCounts()
+        counts.add("glb_data", "read", 3)
+        counts.add("glb_data", "write", 4)
+        counts.add("macs", "mac", 9)
+        assert counts.total("glb_data") == 7
+
+
+class TestEnergyConversion:
+    def test_energy_matches_per_action(self):
+        estimator = Estimator()
+        resources = tc_resources()
+        counts = ActivityCounts()
+        counts.add("macs", "mac", 1000)
+        energy = counts.energy_pj(resources.arch, estimator)
+        expected = 1000 * estimator.energy_pj(
+            resources.arch.component("macs"), "mac"
+        )
+        assert energy["macs"] == pytest.approx(expected)
+
+    def test_unknown_component_raises(self):
+        counts = ActivityCounts()
+        counts.add("nonexistent", "read", 1)
+        with pytest.raises(Exception):
+            counts.energy_pj(tc_resources().arch, Estimator())

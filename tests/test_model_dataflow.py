@@ -1,0 +1,67 @@
+"""Tests for the loopnest dataflow representation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.dataflow import Loop, LoopKind, Loopnest, highlight_loopnest
+
+
+class TestLoop:
+    def test_str_temporal(self):
+        assert str(Loop("m", 4)) == "for m in [0, 4)"
+
+    def test_str_spatial(self):
+        assert "par-for" in str(Loop("k", 4, LoopKind.SPATIAL))
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ModelError):
+            Loop("m", 0)
+
+
+class TestLoopnest:
+    def nest(self):
+        return Loopnest(
+            (
+                Loop("m1", 2),
+                Loop("n", 3),
+                Loop("m0", 4, LoopKind.SPATIAL),
+            )
+        )
+
+    def test_temporal_iterations(self):
+        assert self.nest().temporal_iterations == 6
+
+    def test_spatial_width(self):
+        assert self.nest().spatial_width == 4
+
+    def test_total(self):
+        assert self.nest().total_iterations == 24
+
+    def test_str_indents(self):
+        text = str(self.nest())
+        assert text.splitlines()[1].startswith("  ")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Loopnest(())
+
+
+class TestHighlightLoopnest:
+    def test_dense_covers_workload(self):
+        nest = highlight_loopnest(64, 64, 10, 1.0)
+        assert nest.total_iterations == 64 * 64 * 10
+
+    def test_skipping_shrinks_k(self):
+        dense = highlight_loopnest(64, 64, 10, 1.0)
+        sparse = highlight_loopnest(64, 64, 10, 0.25)
+        assert (
+            sparse.total_iterations == dense.total_iterations / 4
+        )
+
+    def test_spatial_grid(self):
+        nest = highlight_loopnest(64, 64, 10, 1.0)
+        assert nest.spatial_width == 32 * 32
+
+    def test_small_workload_clamps(self):
+        nest = highlight_loopnest(4, 4, 2, 1.0, 32, 32)
+        assert nest.spatial_width == 16

@@ -1,0 +1,94 @@
+"""Tests for the statistical occupancy models."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.density import random_balance_utilization
+from repro.model.occupancy import BinomialOccupancy, structured_occupancy
+
+
+class TestBinomialBasics:
+    def test_mean_variance(self):
+        occ = BinomialOccupancy(8, 0.25)
+        assert occ.mean == 2.0
+        assert occ.variance == pytest.approx(8 * 0.25 * 0.75)
+
+    def test_pmf_sums_to_one(self):
+        occ = BinomialOccupancy(6, 0.4)
+        assert sum(occ.pmf(k) for k in range(7)) == pytest.approx(1.0)
+
+    def test_pmf_out_of_range(self):
+        occ = BinomialOccupancy(4, 0.5)
+        assert occ.pmf(-1) == 0.0
+        assert occ.pmf(5) == 0.0
+
+    def test_cdf_monotone(self):
+        occ = BinomialOccupancy(8, 0.3)
+        values = [occ.cdf(k) for k in range(9)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_cv_formula(self):
+        occ = BinomialOccupancy(16, 0.25)
+        assert occ.coefficient_of_variation == pytest.approx(
+            math.sqrt(0.75 / (16 * 0.25))
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BinomialOccupancy(0, 0.5)
+        with pytest.raises(ModelError):
+            BinomialOccupancy(4, 1.5)
+
+
+class TestExpectedMax:
+    def test_single_lane_is_mean(self):
+        occ = BinomialOccupancy(8, 0.5)
+        assert occ.expected_max_of(1) == pytest.approx(occ.mean)
+
+    def test_grows_with_lanes(self):
+        occ = BinomialOccupancy(8, 0.5)
+        assert occ.expected_max_of(32) > occ.expected_max_of(2)
+
+    def test_dense_max_is_slots(self):
+        occ = BinomialOccupancy(8, 1.0)
+        assert occ.expected_max_of(16) == pytest.approx(8.0)
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ModelError):
+            BinomialOccupancy(8, 0.5).expected_max_of(0)
+
+
+class TestBalanceUtilization:
+    def test_dense_perfect(self):
+        assert BinomialOccupancy(8, 1.0).balance_utilization(32) == 1.0
+
+    def test_degrades_with_sparsity(self):
+        utils = [
+            BinomialOccupancy(8, d).balance_utilization(32)
+            for d in (0.9, 0.5, 0.25, 0.1)
+        ]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_zero_density_defined(self):
+        assert BinomialOccupancy(8, 0.0).balance_utilization(32) == 1.0
+
+    def test_tracks_analytic_curve_shape(self):
+        """The closed-form DSTC curve and the exact binomial statistic
+        agree on direction and rough magnitude."""
+        for density in (0.25, 0.5, 0.75):
+            exact = BinomialOccupancy(4, density).balance_utilization(32)
+            curve = random_balance_utilization(density)
+            assert abs(exact - curve) < 0.35
+            assert (exact < 1.0) == (curve < 1.0)
+
+
+class TestStructured:
+    def test_degenerate_distribution(self):
+        assert structured_occupancy(2) == [2]
+
+    def test_rejects_bad_g(self):
+        with pytest.raises(ModelError):
+            structured_occupancy(0)

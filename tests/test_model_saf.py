@@ -1,0 +1,78 @@
+"""Tests for the SAF abstraction."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.saf import (
+    Saf,
+    SafKind,
+    all_static,
+    combined_ideal_speedup,
+    design_safs,
+    highlight_safs,
+)
+
+
+class TestSavings:
+    def test_gating_saves_energy_only(self):
+        saf = Saf(SafKind.GATING, "MAC", "B.values", static=False)
+        energy, time = saf.savings(0.6)
+        assert energy == 0.6
+        assert time == 0.0
+
+    def test_skipping_saves_both(self):
+        saf = Saf(SafKind.SKIPPING, "PE", "A.rank0", static=True)
+        assert saf.savings(0.5) == (0.5, 0.5)
+
+    def test_fraction_validated(self):
+        saf = Saf(SafKind.GATING, "MAC", "B", static=False)
+        with pytest.raises(ModelError):
+            saf.savings(1.5)
+
+    def test_describe(self):
+        saf = Saf(SafKind.SKIPPING, "PE array", "A.rank1", static=True)
+        assert "skipping" in saf.describe()
+        assert "static" in saf.describe()
+
+
+class TestInventories:
+    def test_highlight_has_two_skips_one_gate(self):
+        safs = highlight_safs()
+        skips = [s for s in safs if s.kind is SafKind.SKIPPING]
+        gates = [s for s in safs if s.kind is SafKind.GATING]
+        assert len(skips) == 2 and len(gates) == 1
+
+    def test_highlight_skipping_is_static(self):
+        """Static structured skipping = perfect balance."""
+        assert all_static(highlight_safs())
+
+    def test_dstc_skipping_is_dynamic(self):
+        assert not all_static(design_safs("DSTC"))
+
+    def test_tc_has_none(self):
+        assert design_safs("TC") == []
+
+    def test_unknown_design(self):
+        with pytest.raises(ModelError):
+            design_safs("Eyeriss")
+
+
+class TestCombinedSpeedup:
+    def test_multiplicative_across_ranks(self):
+        """Sec. 6.3: total speedup is the product of per-rank speedups."""
+        speedup = combined_ideal_speedup(
+            highlight_safs(),
+            {"A.rank1": 0.5, "A.rank0": 0.5, "B.values": 0.6},
+        )
+        # Two skipping ranks at 2x each; gating contributes no time.
+        assert speedup == pytest.approx(4.0)
+
+    def test_missing_fraction_is_dense(self):
+        speedup = combined_ideal_speedup(highlight_safs(), {})
+        assert speedup == 1.0
+
+    def test_full_skip_rejected(self):
+        with pytest.raises(ModelError):
+            combined_ideal_speedup(
+                highlight_safs(), {"A.rank0": 1.0}
+            )

@@ -1,0 +1,115 @@
+"""Tests for gradual pruning schedules."""
+
+import copy
+
+import pytest
+
+from repro.errors import PruningError
+from repro.pruning import TrainConfig, make_blobs, train_dense
+from repro.pruning.gradual import (
+    default_schedule,
+    gradual_prune,
+    is_refinement,
+    validate_schedule,
+)
+from repro.sparsity.hss import HSSPattern
+
+
+class TestRefinement:
+    def test_smaller_g_refines(self):
+        coarse = HSSPattern.from_ratios((2, 4), (3, 4))
+        fine = HSSPattern.from_ratios((2, 4), (2, 4))
+        assert is_refinement(coarse, fine)
+
+    def test_same_pattern_refines_itself(self):
+        pattern = HSSPattern.from_ratios((2, 4), (2, 4))
+        assert is_refinement(pattern, pattern)
+
+    def test_larger_g_does_not_refine(self):
+        coarse = HSSPattern.from_ratios((2, 4), (2, 4))
+        loose = HSSPattern.from_ratios((2, 4), (3, 4))
+        assert not is_refinement(coarse, loose)
+
+    def test_different_h_does_not_refine(self):
+        a = HSSPattern.from_ratios((2, 4))
+        b = HSSPattern.from_ratios((2, 8))
+        assert not is_refinement(a, b)
+
+    def test_added_rank_refines(self):
+        one = HSSPattern.from_ratios((2, 4))
+        two = HSSPattern.from_ratios((2, 4), (2, 4))
+        assert is_refinement(one, two)
+
+    def test_dropped_rank_does_not_refine(self):
+        two = HSSPattern.from_ratios((2, 4), (2, 4))
+        one = HSSPattern.from_ratios((2, 4))
+        assert not is_refinement(two, one)
+
+
+class TestScheduleValidation:
+    def test_default_schedule_valid(self):
+        validate_schedule(default_schedule())
+
+    def test_sparsity_monotone(self):
+        degrees = [p.sparsity for p in default_schedule()]
+        assert degrees == sorted(degrees)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PruningError):
+            validate_schedule([])
+
+    def test_non_refining_rejected(self):
+        with pytest.raises(PruningError):
+            validate_schedule(
+                [
+                    HSSPattern.from_ratios((2, 4), (2, 4)),
+                    HSSPattern.from_ratios((2, 4), (3, 4)),
+                ]
+            )
+
+
+class TestGradualPrune:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        x, y = make_blobs(num_samples=1000, num_features=32,
+                          num_classes=4)
+        config = TrainConfig(hidden=64, epochs=12)
+        model = train_dense(x, y, config)
+        return model, x, y, config
+
+    def test_trajectory_recorded(self, setup):
+        model, x, y, config = setup
+        results = gradual_prune(
+            copy.deepcopy(model), default_schedule(), x, y, config
+        )
+        assert len(results) == 3
+        degrees = [r.sparsity for r in results]
+        assert degrees == sorted(degrees)
+
+    def test_finetune_recovers_each_step(self, setup):
+        model, x, y, config = setup
+        results = gradual_prune(
+            copy.deepcopy(model), default_schedule(), x, y, config
+        )
+        for step in results:
+            assert (
+                step.accuracy_after_finetune
+                >= step.accuracy_after_mask - 1e-9
+            )
+
+    def test_gradual_no_worse_than_one_shot_mask(self, setup):
+        """The final gradual accuracy is at least the one-shot
+        masked-but-untuned accuracy (the schedule's whole point)."""
+        model, x, y, config = setup
+        gradual_model = copy.deepcopy(model)
+        results = gradual_prune(
+            gradual_model, default_schedule(), x, y, config
+        )
+        one_shot = copy.deepcopy(model)
+        from repro.pruning import HSSScheme
+
+        one_shot.install_masks(HSSScheme(default_schedule()[-1]))
+        assert (
+            results[-1].accuracy_after_finetune
+            >= one_shot.accuracy(x, y) - 1e-9
+        )

@@ -1,0 +1,92 @@
+"""Tests for JSON serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro import serialization as S
+from repro.model.workload import (
+    dense_operand,
+    hss_operand,
+    synthetic_workload,
+    unstructured_operand,
+)
+from repro.sparsity import HSSPattern, parse_spec
+
+
+class TestPatternRoundTrip:
+    def test_round_trip(self):
+        pattern = HSSPattern.from_ratios((2, 4), (3, 4))
+        assert S.pattern_from_dict(S.pattern_to_dict(pattern)) == pattern
+
+    def test_json_safe(self):
+        pattern = HSSPattern.from_ratios((2, 4))
+        text = json.dumps(S.pattern_to_dict(pattern))
+        assert S.pattern_from_dict(json.loads(text)) == pattern
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            S.pattern_from_dict({"kind": "operand", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        data = S.pattern_to_dict(HSSPattern.from_ratios((2, 4)))
+        data["version"] = 99
+        with pytest.raises(SpecificationError):
+            S.pattern_from_dict(data)
+
+
+class TestSpecRoundTrip:
+    def test_round_trip(self):
+        spec = parse_spec("RS->C2->C1(3:4)->C0(2:4)")
+        assert S.spec_from_dict(S.spec_to_dict(spec)) == spec
+
+    def test_unconstrained_round_trip(self):
+        spec = parse_spec("C(unconstrained)->R->S")
+        assert S.spec_from_dict(S.spec_to_dict(spec)) == spec
+
+
+class TestWorkloadRoundTrip:
+    @pytest.mark.parametrize(
+        "operand",
+        [
+            dense_operand(),
+            unstructured_operand(0.6),
+            hss_operand(HSSPattern.from_ratios((2, 4), (2, 4))),
+        ],
+    )
+    def test_operand_round_trip(self, operand):
+        assert S.operand_from_dict(S.operand_to_dict(operand)) == operand
+
+    def test_workload_round_trip(self):
+        workload = synthetic_workload(0.75, 0.5, size=128)
+        restored = S.workload_from_dict(S.workload_to_dict(workload))
+        assert restored == workload
+
+    def test_workload_json_safe(self):
+        workload = synthetic_workload(0.5, 0.25, size=64)
+        text = json.dumps(S.workload_to_dict(workload))
+        assert S.workload_from_dict(json.loads(text)) == workload
+
+
+class TestMetricsRoundTrip:
+    def test_round_trip_preserves_derived(self, estimator):
+        from repro.accelerators import HighLight
+
+        workload = synthetic_workload(0.75, 0.5, size=128)
+        metrics = HighLight().evaluate(workload, estimator)
+        data = S.metrics_to_dict(metrics)
+        restored = S.metrics_from_dict(data)
+        assert restored.edp == pytest.approx(metrics.edp)
+        assert restored.energy_pj == pytest.approx(metrics.energy_pj)
+        assert data["edp"] == pytest.approx(metrics.edp)
+
+    def test_json_safe(self, estimator):
+        from repro.accelerators import TC
+
+        metrics = TC().evaluate(
+            synthetic_workload(0.0, 0.0, size=64), estimator
+        )
+        text = json.dumps(S.metrics_to_dict(metrics))
+        restored = S.metrics_from_dict(json.loads(text))
+        assert restored.design == "TC"

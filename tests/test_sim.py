@@ -1,0 +1,162 @@
+"""Tests for the functional micro-architecture simulator components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    GlobalBuffer,
+    ProcessingElement,
+    SimConfig,
+    VariableFetchManagementUnit,
+)
+from repro.sparsity import HSSPattern
+
+
+class TestSimConfig:
+    def test_defaults_match_paper_walkthrough(self):
+        config = SimConfig()
+        assert (config.num_pes, config.macs_per_pe) == (2, 2)
+        assert config.h0 == 4
+
+    def test_supports_paper_pattern(self):
+        config = SimConfig()
+        assert config.supports(HSSPattern.from_ratios((2, 4), (2, 4)))
+        assert config.supports(HSSPattern.from_ratios((2, 4), (2, 3)))
+
+    def test_rejects_wrong_g(self):
+        config = SimConfig()
+        assert not config.supports(HSSPattern.from_ratios((1, 4), (2, 4)))
+        assert not config.supports(HSSPattern.from_ratios((2, 4), (3, 4)))
+
+    def test_rejects_h1_above_max(self):
+        assert not SimConfig().supports(
+            HSSPattern.from_ratios((2, 4), (2, 8))
+        )
+
+    def test_rejects_one_rank(self):
+        assert not SimConfig().supports(HSSPattern.from_ratios((2, 4)))
+
+    def test_example_pattern(self):
+        assert SimConfig().example_pattern(3).rank(1).h == 3
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(SimulationError):
+            SimConfig(num_pes=0)
+        with pytest.raises(SimulationError):
+            SimConfig(macs_per_pe=8, h0=4)
+
+
+class TestGlobalBuffer:
+    def test_aligned_rows(self):
+        glb = GlobalBuffer(np.arange(32.0), row_values=16)
+        np.testing.assert_allclose(glb.read_row(1), np.arange(16.0, 32.0))
+
+    def test_pads_to_row_multiple(self):
+        glb = GlobalBuffer(np.arange(20.0), row_values=16)
+        assert glb.num_rows == 2
+        assert glb.read_row(1)[4] == 0.0
+
+    def test_counts_reads(self):
+        glb = GlobalBuffer(np.arange(32.0), row_values=16)
+        glb.read_rows(0, 2)
+        assert glb.reads == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            GlobalBuffer(np.arange(16.0), 16).read_row(1)
+
+
+class TestVFMU:
+    def make(self, data, capacity=32):
+        glb = GlobalBuffer(np.asarray(data, dtype=float), row_values=16)
+        return glb, VariableFetchManagementUnit(glb, capacity)
+
+    def test_serves_unaligned_shifts(self):
+        """Fig. 11: shift of 12 values (three blocks) per read."""
+        _, vfmu = self.make(np.arange(48.0))
+        np.testing.assert_allclose(vfmu.read_shift(12), np.arange(12.0))
+        np.testing.assert_allclose(
+            vfmu.read_shift(12), np.arange(12.0, 24.0)
+        )
+
+    def test_skips_fetch_when_buffered(self):
+        """Fig. 12(b): no GLB fetch when enough valid entries exist."""
+        glb, vfmu = self.make(np.arange(32.0))
+        vfmu.read_shift(16)  # buffers one row, consumes it all
+        vfmu.read_shift(8)   # fetches the second row
+        before = glb.reads
+        vfmu.read_shift(8)   # satisfied from the buffer
+        assert glb.reads == before
+        assert vfmu.skipped_fetches >= 1
+
+    def test_zero_shift_no_fetch(self):
+        glb, vfmu = self.make(np.arange(16.0))
+        out = vfmu.read_shift(0)
+        assert out.size == 0
+        assert glb.reads == 0
+
+    def test_counts_words_written(self):
+        _, vfmu = self.make(np.arange(32.0))
+        vfmu.read_shift(4)
+        assert vfmu.words_written == 16  # one aligned row
+
+    def test_capacity_enforced(self):
+        _, vfmu = self.make(np.arange(64.0), capacity=16)
+        with pytest.raises(SimulationError):
+            vfmu.read_shift(17)
+
+    def test_exhaustion_detected(self):
+        _, vfmu = self.make(np.arange(16.0))
+        vfmu.read_shift(16)
+        with pytest.raises(SimulationError):
+            vfmu.read_shift(4)
+
+    def test_too_small_capacity_rejected(self):
+        glb = GlobalBuffer(np.arange(16.0), row_values=16)
+        with pytest.raises(SimulationError):
+            VariableFetchManagementUnit(glb, 8)
+
+
+class TestProcessingElement:
+    def test_selects_by_offset(self):
+        pe = ProcessingElement(macs=2, h0=4)
+        pe.load_block([2.0, 3.0], [0, 3])
+        block = np.array([10.0, 0.0, 0.0, 20.0])
+        assert pe.step(block) == pytest.approx(2 * 10 + 3 * 20)
+
+    def test_gates_on_zero_b(self):
+        pe = ProcessingElement(macs=2, h0=4)
+        pe.load_block([2.0, 3.0], [0, 1])
+        pe.step(np.array([10.0, 0.0, 5.0, 5.0]))
+        assert pe.full_macs == 1
+        assert pe.gated_macs == 1
+
+    def test_cleared_pe_contributes_zero(self):
+        pe = ProcessingElement(macs=2, h0=4)
+        pe.load_block([2.0], [0])
+        pe.clear()
+        assert pe.step(np.ones(4)) == 0.0
+
+    def test_occupancy_limit(self):
+        pe = ProcessingElement(macs=2, h0=4)
+        with pytest.raises(SimulationError):
+            pe.load_block([1.0, 2.0, 3.0], [0, 1, 2])
+
+    def test_offset_range_checked(self):
+        pe = ProcessingElement(macs=2, h0=4)
+        with pytest.raises(SimulationError):
+            pe.load_block([1.0], [4])
+
+    def test_wrong_block_width(self):
+        pe = ProcessingElement(macs=2, h0=4)
+        pe.load_block([1.0], [0])
+        with pytest.raises(SimulationError):
+            pe.step(np.ones(3))
+
+    def test_counts_mux_selects(self):
+        pe = ProcessingElement(macs=2, h0=4)
+        pe.load_block([1.0, 2.0], [0, 1])
+        pe.step(np.ones(4))
+        pe.step(np.ones(4))
+        assert pe.mux_selects == 4

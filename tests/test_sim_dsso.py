@@ -1,0 +1,79 @@
+"""Tests for the dual-side HSS (DSSO) functional simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import simulate_dsso_matmul
+from repro.sparsity import HSSPattern, sparsify
+
+
+def make_operands(rng, h1=4, m=6, k=32, n=5):
+    pattern_a = HSSPattern.from_ratios((2, 4))
+    pattern_b = HSSPattern.from_ratios((4, 4), (2, h1))
+    a = sparsify(rng.normal(size=(m, k)), pattern_a)
+    # B sparsified along K independently per column.
+    b = sparsify(rng.normal(size=(k, n)), pattern_b, axis=0)
+    return a, b, pattern_a, pattern_b
+
+
+class TestExactness:
+    @pytest.mark.parametrize("h1", [2, 3, 4, 8])
+    def test_exact(self, rng, h1):
+        a, b, pattern_a, pattern_b = make_operands(rng, h1, k=64)
+        result, _ = simulate_dsso_matmul(a, b, pattern_a, pattern_b)
+        np.testing.assert_allclose(result, a @ b, atol=1e-10)
+
+    def test_dense_b_rank1(self, rng):
+        a, b, pattern_a, _ = make_operands(rng)
+        pattern_b = HSSPattern.from_ratios((4, 4), (4, 4))
+        result, _ = simulate_dsso_matmul(a, b, pattern_a, pattern_b)
+        np.testing.assert_allclose(result, a @ b, atol=1e-10)
+
+
+class TestDualSideSpeedup:
+    def test_multiplicative_speedup(self, rng):
+        """Fig. 17: total speedup is the product of both densities."""
+        a, b, pattern_a, pattern_b = make_operands(rng, h1=4, k=64)
+        _, stats = simulate_dsso_matmul(a, b, pattern_a, pattern_b)
+        assert stats.speedup_vs_dense == pytest.approx(4.0)
+
+    def test_rank1_blocks_skipped(self, rng):
+        a, b, pattern_a, pattern_b = make_operands(rng, h1=4, k=64)
+        _, stats = simulate_dsso_matmul(a, b, pattern_a, pattern_b)
+        # Half the activation blocks are empty under C1(2:4).
+        assert stats.rank1_blocks_skipped == stats.steps
+
+    def test_speed_scales_with_h1(self, rng):
+        speeds = {}
+        for h1 in (2, 4, 8):
+            a, b, pattern_a, pattern_b = make_operands(rng, h1, k=64)
+            _, stats = simulate_dsso_matmul(a, b, pattern_a, pattern_b)
+            speeds[h1] = stats.speedup_vs_dense
+        assert speeds[4] == pytest.approx(2 * speeds[2])
+        assert speeds[8] == pytest.approx(4 * speeds[2])
+
+
+class TestValidation:
+    def test_rejects_sparse_a_upper_rank(self, rng):
+        a, b, _, pattern_b = make_operands(rng)
+        bad = HSSPattern.from_ratios((2, 4), (2, 4))
+        with pytest.raises(SimulationError):
+            simulate_dsso_matmul(a, b, bad, pattern_b)
+
+    def test_rejects_sparse_b_rank0(self, rng):
+        a, b, pattern_a, _ = make_operands(rng)
+        bad = HSSPattern.from_ratios((2, 4), (2, 4))
+        with pytest.raises(SimulationError):
+            simulate_dsso_matmul(a, b, pattern_a, bad)
+
+    def test_rejects_geometry_mismatch(self, rng):
+        a, b, pattern_a, _ = make_operands(rng)
+        bad = HSSPattern.from_ratios((8, 8), (2, 4))
+        with pytest.raises(SimulationError):
+            simulate_dsso_matmul(a, b, pattern_a, bad)
+
+    def test_rejects_shape_mismatch(self, rng):
+        a, b, pattern_a, pattern_b = make_operands(rng)
+        with pytest.raises(SimulationError):
+            simulate_dsso_matmul(a, b[:-1], pattern_a, pattern_b)

@@ -1,0 +1,44 @@
+"""Property-based tests: the simulator is exact on arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimConfig, simulate_matmul
+from repro.sparsity import sparsify
+from repro.utils import ceil_div
+
+
+@st.composite
+def sim_cases(draw):
+    h1 = draw(st.integers(min_value=2, max_value=4))
+    m = draw(st.integers(min_value=1, max_value=5))
+    groups = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=4))
+    b_sparsity = draw(st.floats(min_value=0.0, max_value=0.9))
+    compress = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return h1, m, groups, n, b_sparsity, compress, seed
+
+
+@settings(max_examples=40, deadline=None)
+@given(sim_cases())
+def test_simulator_exact_and_counts_consistent(case):
+    h1, m, groups, n, b_sparsity, compress, seed = case
+    rng = np.random.default_rng(seed)
+    config = SimConfig()
+    pattern = config.example_pattern(h1)
+    k = groups * 4 * h1
+    a = sparsify(rng.normal(size=(m, k)), pattern)
+    b = rng.normal(size=(k, n))
+    b[rng.random(b.shape) < b_sparsity] = 0.0
+
+    result, stats = simulate_matmul(a, b, pattern, config, compress)
+
+    # Exactness against numpy.
+    np.testing.assert_allclose(result, a @ b, atol=1e-10)
+    # Never more steps than the structured schedule allows.
+    assert stats.steps <= m * n * ceil_div(k, 4 * h1)
+    # MAC issue accounting is closed.
+    assert stats.full_macs + stats.gated_macs == stats.mux_selects
+    assert stats.scheduled_products >= stats.mux_selects

@@ -1,0 +1,100 @@
+"""Simulator generalization: configurations beyond the Sec. 6 example.
+
+The paper's walkthrough uses two PEs x two MACs with C1(2:H)->C0(2:4);
+the real HighLight supports C1(4:{4..8})->C0(2:{2..4}). These tests run
+the simulator at scaled configurations (more PEs, wider blocks) and
+confirm exactness and schedule counts generalize.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimConfig, simulate_matmul
+from repro.sparsity import HSSPattern, sparsify
+from repro.utils import ceil_div
+
+
+def run_case(rng, config, h1, m=4, groups=2, n=3, compress=False):
+    pattern = config.example_pattern(h1)
+    k = groups * config.h0 * h1
+    a = sparsify(rng.normal(size=(m, k)), pattern)
+    b = rng.normal(size=(k, n))
+    b[rng.random(b.shape) < 0.4] = 0.0
+    result, stats = simulate_matmul(a, b, pattern, config, compress)
+    np.testing.assert_allclose(result, a @ b, atol=1e-10)
+    return a, stats, pattern, k
+
+
+class TestFullScaleRank1:
+    """G1 = 4 (the shipped HighLight's Rank1 G)."""
+
+    @pytest.mark.parametrize("h1", [4, 6, 8])
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_exact_and_scheduled(self, rng, h1, compress):
+        config = SimConfig(num_pes=4, macs_per_pe=2, h0=4, h1_max=8,
+                           glb_row_values=32)
+        a, stats, pattern, k = run_case(
+            rng, config, h1, compress=compress
+        )
+        assert stats.scheduled_products == pytest.approx(
+            a.shape[0] * k * 3 * pattern.density
+        )
+
+
+class TestWideRank0:
+    """H0 = 8 blocks with G0 = 2."""
+
+    def test_exact(self, rng):
+        config = SimConfig(num_pes=2, macs_per_pe=2, h0=8, h1_max=4,
+                           glb_row_values=32)
+        run_case(rng, config, 3)
+
+    def test_steps(self, rng):
+        config = SimConfig(num_pes=2, macs_per_pe=2, h0=8, h1_max=4,
+                           glb_row_values=32)
+        _, stats, _, k = run_case(rng, config, 4, m=5, groups=2, n=2)
+        assert stats.steps == 5 * 2 * ceil_div(k, 8 * 4)
+
+
+class TestManyMacsPerPe:
+    """G0 = 4 MACs per PE."""
+
+    def test_exact_with_gating(self, rng):
+        config = SimConfig(num_pes=2, macs_per_pe=4, h0=8, h1_max=4,
+                           glb_row_values=32)
+        _, stats, _, _ = run_case(rng, config, 2)
+        assert stats.gated_macs > 0
+
+    def test_mac_accounting_closed(self, rng):
+        config = SimConfig(num_pes=2, macs_per_pe=4, h0=8, h1_max=4,
+                           glb_row_values=32)
+        _, stats, _, _ = run_case(rng, config, 4, compress=True)
+        assert stats.full_macs + stats.gated_macs == stats.mux_selects
+
+
+class TestHSSPatternEdgeGeometries:
+    def test_single_group_k(self, rng):
+        """K equal to exactly one rank-1 group."""
+        config = SimConfig()
+        pattern = config.example_pattern(4)
+        a = sparsify(rng.normal(size=(3, 16)), pattern)
+        b = rng.normal(size=(16, 2))
+        result, stats = simulate_matmul(a, b, pattern, config)
+        np.testing.assert_allclose(result, a @ b)
+        assert stats.steps <= 3 * 2 * 1
+
+    def test_single_column_b(self, rng):
+        config = SimConfig()
+        pattern = config.example_pattern(3)
+        a = sparsify(rng.normal(size=(2, 24)), pattern)
+        b = rng.normal(size=(24, 1))
+        result, _ = simulate_matmul(a, b, pattern, config)
+        np.testing.assert_allclose(result, a @ b)
+
+    def test_single_row_a(self, rng):
+        config = SimConfig()
+        pattern = config.example_pattern(4)
+        a = sparsify(rng.normal(size=(1, 32)), pattern)
+        b = rng.normal(size=(32, 4))
+        result, _ = simulate_matmul(a, b, pattern, config, True)
+        np.testing.assert_allclose(result, a @ b)

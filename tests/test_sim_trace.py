@@ -1,0 +1,50 @@
+"""Tests for the execution trace facility."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimConfig
+from repro.sim.trace import traced_matmul
+from repro.sparsity import sparsify
+
+
+@pytest.fixture
+def traced(rng):
+    config = SimConfig()
+    pattern = config.example_pattern()
+    a = sparsify(rng.normal(size=(2, 32)), pattern)
+    b = rng.normal(size=(32, 3))
+    b[rng.random(b.shape) < 0.5] = 0.0
+    result, trace = traced_matmul(a, b, pattern, config)
+    return a, b, result, trace
+
+
+class TestTrace:
+    def test_result_exact(self, traced):
+        a, b, result, _ = traced
+        np.testing.assert_allclose(result, a @ b)
+
+    def test_step_count_matches_schedule(self, traced):
+        a, b, _, trace = traced
+        # 2 rows x 3 cols x 2 groups (32 values / 16-per-group).
+        assert len(trace) == 2 * 3 * 2
+
+    def test_partial_sums_reconstruct_output(self, traced):
+        a, b, result, trace = traced
+        accumulated = np.zeros_like(result)
+        for step in trace.steps:
+            accumulated[step.row, step.column] += step.partial_sum
+        np.testing.assert_allclose(accumulated, result)
+
+    def test_gating_recorded(self, traced):
+        _, b, _, trace = traced
+        assert any(any(step.gated_lanes) for step in trace.steps)
+
+    def test_render_truncates(self, traced):
+        *_, trace = traced
+        text = trace.render(limit=2)
+        assert "more steps" in text
+
+    def test_describe_mentions_pes(self, traced):
+        *_, trace = traced
+        assert "PE0" in trace.steps[0].describe()

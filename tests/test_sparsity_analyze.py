@@ -1,0 +1,80 @@
+"""Tests for conformance checking and sparsity measurement."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity import HSSPattern, conformance_report, conforms
+from repro.sparsity.analyze import measure_density, measure_sparsity
+
+
+class TestMeasure:
+    def test_sparsity(self):
+        assert measure_sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+
+    def test_density(self):
+        assert measure_density(np.array([0.0, 1.0])) == 0.5
+
+    def test_empty_array(self):
+        assert measure_sparsity(np.array([])) == 0.0
+
+    def test_all_dense(self):
+        assert measure_sparsity(np.ones((3, 3))) == 0.0
+
+
+class TestConforms:
+    def test_conforming_24(self):
+        pattern = HSSPattern.from_ratios((2, 4))
+        assert conforms(np.array([1.0, 0.0, 2.0, 0.0]), pattern)
+
+    def test_violating_24(self):
+        pattern = HSSPattern.from_ratios((2, 4))
+        assert not conforms(np.array([1.0, 1.0, 2.0, 0.0]), pattern)
+
+    def test_denser_than_pattern_but_conforming(self):
+        """Occupancy below G always conforms (under-full blocks)."""
+        pattern = HSSPattern.from_ratios((2, 4))
+        assert conforms(np.zeros(8), pattern)
+
+    def test_two_rank_violation_at_rank1(self):
+        pattern = HSSPattern.from_ratios((2, 4), (1, 2))
+        # Both rank-0 blocks of the rank-1 group are non-empty: violates
+        # the 1:2 rank-1 rule even though each block satisfies 2:4.
+        row = np.array([1.0, 0, 0, 0, 2.0, 0, 0, 0])
+        assert not conforms(row, pattern)
+
+    def test_two_rank_conforming(self):
+        pattern = HSSPattern.from_ratios((2, 4), (1, 2))
+        row = np.array([1.0, 2.0, 0, 0, 0, 0, 0, 0])
+        assert conforms(row, pattern)
+
+    def test_partial_length_padded(self):
+        pattern = HSSPattern.from_ratios((2, 4))
+        assert conforms(np.array([1.0, 2.0, 0.0]), pattern)
+
+
+class TestReport:
+    def test_per_rank_details(self):
+        pattern = HSSPattern.from_ratios((2, 4), (1, 2))
+        row = np.array([1.0, 1.0, 1.0, 0, 2.0, 0, 0, 0])
+        report = conformance_report(row, pattern)
+        assert not report.ok
+        assert report.ranks[0].num_violations == 1  # 3 nonzeros in block
+        assert report.ranks[1].num_violations == 1  # both blocks non-empty
+        assert report.ranks[0].max_occupancy == 3
+
+    def test_measured_vs_pattern_sparsity(self, rng):
+        from repro.sparsity import sparsify
+
+        pattern = HSSPattern.from_ratios((2, 4), (2, 4))
+        out = sparsify(rng.normal(size=(4, 64)), pattern)
+        report = conformance_report(out, pattern)
+        assert report.ok
+        assert report.measured_sparsity == pytest.approx(
+            report.pattern_sparsity
+        )
+
+    def test_rank_levels_labelled(self):
+        pattern = HSSPattern.from_ratios((2, 4), (3, 4))
+        report = conformance_report(np.zeros(16), pattern)
+        assert [rank.level for rank in report.ranks] == [0, 1]
+        assert report.ranks[1].g == 3

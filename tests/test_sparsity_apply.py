@@ -1,0 +1,106 @@
+"""Tests for executable sparsity specifications (apply_spec)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.fibertree import from_dense
+from repro.sparsity import HSSPattern, parse_spec, sparsify
+from repro.sparsity.apply import apply_spec
+
+
+def tree_of(array, names):
+    return from_dense(np.asarray(array, dtype=float), names,
+                      keep_zeros=True)
+
+
+class TestGHRules:
+    def test_one_rank_gh(self, rng):
+        array = rng.normal(size=(4, 8))
+        spec = parse_spec("M->K(2:4)")
+        pruned = apply_spec(tree_of(array, ("M", "K")), spec)
+        assert pruned.density == pytest.approx(0.5)
+
+    def test_matches_numpy_sparsify(self, rng):
+        """The executable spec and the fast numpy path agree."""
+        array = rng.normal(size=(4, 16))
+        spec = parse_spec("M->K(2:4)")
+        tree_result = apply_spec(tree_of(array, ("M", "K")), spec)
+        numpy_result = sparsify(array, HSSPattern.from_ratios((2, 4)))
+        np.testing.assert_allclose(
+            tree_result.to_dense(), numpy_result
+        )
+
+    def test_two_rank_hss_matches_numpy(self, rng):
+        """The Fig. 5 pattern applied via the partitioned tree equals
+        the flat sparsifier."""
+        from repro.fibertree import partition
+
+        array = rng.normal(size=(2, 32))
+        tree = tree_of(array, ("M", "K"))
+        tree = partition(tree, "K", 4, ("K1", "K0"))
+        spec = parse_spec("M->K1(2:4)->K0(2:4)")
+        pruned = apply_spec(tree, spec, unconstrained_sparsity=0.0)
+        expected = sparsify(
+            array, HSSPattern.from_ratios((2, 4), (2, 4))
+        ).reshape(2, 8, 4)
+        np.testing.assert_allclose(pruned.to_dense(), expected)
+
+    def test_intermediate_rank_prunes_subtrees(self, rng):
+        array = np.ones((4, 4))
+        array[1] *= 10  # row 1 clearly most important
+        spec = parse_spec("R(1:4)->S")
+        pruned = apply_spec(tree_of(array, ("R", "S")), spec)
+        dense = pruned.to_dense()
+        assert np.all(dense[1] == 10)
+        assert np.all(dense[[0, 2, 3]] == 0)
+
+
+class TestUnconstrained:
+    def test_channel_pruning(self):
+        array = np.array([[1.0, 1], [5, 5], [9, 9], [2, 2]])
+        spec = parse_spec("C(unconstrained)->S")
+        pruned = apply_spec(
+            tree_of(array, ("C", "S")), spec, unconstrained_sparsity=0.5
+        )
+        dense = pruned.to_dense()
+        # The two lowest-importance channels (rows 0 and 3) are gone.
+        assert np.all(dense[[0, 3]] == 0)
+        assert np.all(dense[[1, 2]] != 0)
+
+    def test_unstructured_leaf_pruning(self, rng):
+        array = rng.normal(size=16)
+        spec = parse_spec("K(unconstrained)")
+        pruned = apply_spec(
+            tree_of(array, ("K",)), spec, unconstrained_sparsity=0.75
+        )
+        assert pruned.occupancy == 4
+
+
+class TestValidation:
+    def test_rank_name_mismatch(self, rng):
+        with pytest.raises(SpecificationError):
+            apply_spec(
+                tree_of(rng.normal(size=(2, 2)), ("A", "B")),
+                parse_spec("X->Y(2:4)"),
+            )
+
+    def test_ghrange_rejected(self, rng):
+        spec = parse_spec("M->K(2:{2<=H<=4})")
+        with pytest.raises(SpecificationError):
+            apply_spec(tree_of(rng.normal(size=(2, 4)), ("M", "K")), spec)
+
+    def test_bad_unconstrained_fraction(self, rng):
+        with pytest.raises(SpecificationError):
+            apply_spec(
+                tree_of(rng.normal(size=(2, 2)), ("M", "K")),
+                parse_spec("M->K(unconstrained)"),
+                unconstrained_sparsity=1.0,
+            )
+
+    def test_input_tree_unmodified(self, rng):
+        array = rng.normal(size=(2, 8))
+        tree = tree_of(array, ("M", "K"))
+        before = tree.occupancy
+        apply_spec(tree, parse_spec("M->K(1:4)"))
+        assert tree.occupancy == before

@@ -1,0 +1,40 @@
+"""Tests for the named pattern library (Table 2)."""
+
+from repro.sparsity import library
+from repro.sparsity.spec import SparsitySpec
+
+
+class TestTable2:
+    def test_seven_rows(self):
+        assert len(library.table2_patterns()) == 7
+
+    def test_all_are_specs(self):
+        for named in library.table2_patterns():
+            assert isinstance(named.spec, SparsitySpec)
+
+    def test_sub_channel_name_is_ambiguous(self):
+        """Three different proposals share the informal 'Sub-channel'
+        name — the fibertree specs distinguish them (the paper's point)."""
+        sub_channel = [
+            named
+            for named in library.table2_patterns()
+            if named.conventional_name == "Sub-channel"
+        ]
+        assert len(sub_channel) >= 3
+        specs = {str(named.spec) for named in sub_channel}
+        assert len(specs) == len(sub_channel)
+
+    def test_hss_row_is_hierarchical(self):
+        hss_rows = [
+            named
+            for named in library.table2_patterns()
+            if named.spec.is_hierarchical
+        ]
+        assert len(hss_rows) == 1
+        assert "3:4" in str(hss_rows[0].spec)
+
+    def test_named_constants(self):
+        assert library.EXAMPLE_TWO_RANK.sparsity() == 0.625
+        assert library.SPARSE_TENSOR_CORE_24.sparsity() == 0.5
+        assert library.CHANNEL_PRUNING.density() is None
+        assert library.UNSTRUCTURED.num_sparse_ranks == 1

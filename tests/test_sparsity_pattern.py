@@ -1,0 +1,115 @@
+"""Tests for per-rank pruning rules (GH, GHRange, Dense, Unconstrained)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PatternError
+from repro.sparsity import GH, GHRange, Dense, Unconstrained
+from repro.sparsity.pattern import parse_rule
+
+
+class TestGH:
+    def test_density(self):
+        assert GH(2, 4).density == 0.5
+
+    def test_sparsity(self):
+        assert GH(1, 4).sparsity == 0.75
+
+    def test_fraction_exact(self):
+        assert GH(2, 3).fraction == Fraction(2, 3)
+
+    def test_str(self):
+        assert str(GH(2, 4)) == "2:4"
+
+    def test_dense_block(self):
+        assert GH(4, 4).density == 1.0
+
+    def test_rejects_g_above_h(self):
+        with pytest.raises(PatternError):
+            GH(5, 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(PatternError):
+            GH(0, 4)
+        with pytest.raises(PatternError):
+            GH(2, 0)
+
+    def test_hashable(self):
+        assert len({GH(2, 4), GH(2, 4), GH(2, 8)}) == 2
+
+
+class TestGHRange:
+    def test_patterns(self):
+        family = GHRange(2, 2, 4)
+        assert family.patterns() == [GH(2, 2), GH(2, 3), GH(2, 4)]
+
+    def test_densities_descending(self):
+        densities = GHRange(2, 2, 4).densities()
+        assert densities == sorted(densities, reverse=True)
+        assert densities[0] == Fraction(1)
+
+    def test_densities_deduplicated(self):
+        # 2:4 and 2:4 can't repeat, but 2:2 == 4:4-style dups can't occur
+        # within a fixed-G family; check count.
+        assert len(GHRange(2, 2, 16).densities()) == 15
+
+    def test_supports(self):
+        family = GHRange(4, 4, 8)
+        assert family.supports(GH(4, 6))
+        assert not family.supports(GH(4, 9))
+        assert not family.supports(GH(2, 6))
+
+    def test_str_single(self):
+        assert str(GHRange(2, 4, 4)) == "2:4"
+
+    def test_str_range(self):
+        assert str(GHRange(2, 2, 4)) == "2:{2<=H<=4}"
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(PatternError):
+            GHRange(2, 8, 4)
+
+    def test_rejects_h_min_below_g(self):
+        with pytest.raises(PatternError):
+            GHRange(4, 2, 8)
+
+
+class TestDenseUnconstrained:
+    def test_dense_density(self):
+        assert Dense().density == 1.0
+
+    def test_strs(self):
+        assert str(Dense()) == "dense"
+        assert str(Unconstrained()) == "unconstrained"
+
+
+class TestParseRule:
+    def test_parse_dense(self):
+        assert parse_rule("dense") == Dense()
+
+    def test_parse_unconstrained(self):
+        assert parse_rule("Unconstrained") == Unconstrained()
+
+    def test_parse_gh(self):
+        assert parse_rule("2:4") == GH(2, 4)
+
+    def test_parse_range(self):
+        assert parse_rule("4:{4<=H<=8}") == GHRange(4, 4, 8)
+
+    def test_parse_whitespace(self):
+        assert parse_rule(" 3:4 ") == GH(3, 4)
+
+    def test_parse_garbage(self):
+        with pytest.raises(PatternError):
+            parse_rule("banana")
+
+    def test_parse_bad_range(self):
+        with pytest.raises(PatternError):
+            parse_rule("2:{4<=X<=8}")
+
+    def test_parse_bad_numbers(self):
+        with pytest.raises(PatternError):
+            parse_rule("a:4")
+        with pytest.raises(PatternError):
+            parse_rule("2:b")

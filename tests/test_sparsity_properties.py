@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for the sparsity core."""
+
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity import (
+    GH,
+    HSSPattern,
+    compose_densities,
+    conforms,
+    sparsify,
+    sparsify_unstructured,
+)
+from repro.sparsity.analyze import measure_sparsity
+
+
+@st.composite
+def gh_patterns(draw):
+    h = draw(st.integers(min_value=1, max_value=8))
+    g = draw(st.integers(min_value=1, max_value=h))
+    return GH(g, h)
+
+
+@st.composite
+def hss_patterns(draw, max_ranks=3):
+    num_ranks = draw(st.integers(min_value=1, max_value=max_ranks))
+    return HSSPattern(tuple(draw(gh_patterns()) for _ in range(num_ranks)))
+
+
+@st.composite
+def matrices(draw):
+    rows = draw(st.integers(min_value=1, max_value=6))
+    cols = draw(st.integers(min_value=1, max_value=48))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    # Values away from zero so kept entries are always nonzero.
+    return rng.uniform(0.5, 1.5, size=(rows, cols)) * rng.choice(
+        [-1.0, 1.0], size=(rows, cols)
+    )
+
+
+@given(hss_patterns())
+def test_density_in_unit_interval(pattern):
+    assert 0.0 < pattern.density <= 1.0
+    assert pattern.sparsity + pattern.density == 1.0
+
+
+@given(hss_patterns())
+def test_density_is_product_of_rank_fractions(pattern):
+    product = Fraction(1)
+    for rank in pattern.ranks:
+        product *= rank.fraction
+    assert pattern.density_fraction == product
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(), hss_patterns())
+def test_sparsify_output_conforms(matrix, pattern):
+    """Any sparsified tensor conforms to its pattern."""
+    out = sparsify(matrix, pattern)
+    assert conforms(out, pattern)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(), hss_patterns())
+def test_sparsify_is_a_masking(matrix, pattern):
+    """Sparsify only zeroes entries; survivors keep their values."""
+    out = sparsify(matrix, pattern)
+    survivors = out != 0
+    np.testing.assert_allclose(out[survivors], matrix[survivors])
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(), hss_patterns())
+def test_sparsify_idempotent(matrix, pattern):
+    once = sparsify(matrix, pattern)
+    twice = sparsify(once, pattern)
+    np.testing.assert_allclose(once, twice)
+
+
+@settings(max_examples=50, deadline=None)
+@given(matrices(), hss_patterns())
+def test_sparsity_never_below_pattern_degree(matrix, pattern):
+    """Measured sparsity >= pattern sparsity minus padding slack."""
+    out = sparsify(matrix, pattern)
+    # Padding at the row tail can only *increase* measured density of
+    # kept slots, never allow more survivors than G per block; allow a
+    # small slack for the final partial block.
+    span = pattern.block_sizes()[-1]
+    slack = span / matrix.shape[1]
+    assert measure_sparsity(out) >= pattern.sparsity - slack - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    matrices(),
+    st.floats(min_value=0.0, max_value=0.95),
+)
+def test_unstructured_hits_target(matrix, sparsity):
+    out = sparsify_unstructured(matrix, sparsity)
+    expected = round(sparsity * matrix.size) / matrix.size
+    assert measure_sparsity(out) <= expected + 1e-9
+    # Values away from zero: count is exact.
+    assert measure_sparsity(out) >= expected - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.fractions(
+                min_value=Fraction(1, 16), max_value=Fraction(1)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_compose_densities_closed_and_sorted(sets):
+    result = compose_densities(*sets)
+    assert result == sorted(set(result), reverse=True)
+    assert all(0 < d <= 1 for d in result)
+    # The largest product is the product of the maxima.
+    expected_max = 1
+    for density_set in sets:
+        expected_max *= max(density_set)
+    assert result[0] == expected_max

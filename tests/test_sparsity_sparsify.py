@@ -1,0 +1,142 @@
+"""Tests for HSS sparsification (paper Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparsificationError
+from repro.sparsity import (
+    HSSPattern,
+    conforms,
+    random_hss_matrix,
+    scaled_l2_norm,
+    sparsify,
+    sparsify_unstructured,
+)
+
+
+class TestRank0:
+    def test_keeps_largest_magnitudes(self):
+        pattern = HSSPattern.from_ratios((2, 4))
+        row = np.array([1.0, -9.0, 2.0, 8.0])
+        out = sparsify(row, pattern)
+        np.testing.assert_allclose(out, [0.0, -9.0, 0.0, 8.0])
+
+    def test_exact_density(self, rng):
+        pattern = HSSPattern.from_ratios((2, 4))
+        out = sparsify(rng.normal(size=(16, 64)), pattern)
+        assert np.mean(out == 0) == pytest.approx(0.5)
+
+    def test_dense_rule_is_identity(self, rng):
+        pattern = HSSPattern.from_ratios((4, 4))
+        array = rng.normal(size=(4, 16))
+        np.testing.assert_allclose(sparsify(array, pattern), array)
+
+    def test_partial_block_padding(self):
+        """Length not a multiple of the span: real values win over pad."""
+        pattern = HSSPattern.from_ratios((2, 4))
+        row = np.array([3.0, 2.0, 1.0, 5.0, 4.0, 6.0])  # last block of 2
+        out = sparsify(row, pattern)
+        # Last (partial) block keeps both its values.
+        np.testing.assert_allclose(out[4:], [4.0, 6.0])
+
+
+class TestIntermediateRank:
+    def test_prunes_lowest_scaled_l2_blocks(self):
+        pattern = HSSPattern.from_ratios((2, 2), (1, 2))
+        # Two blocks of 2; second block has larger average magnitude.
+        row = np.array([1.0, 1.0, 5.0, 5.0])
+        out = sparsify(row, pattern)
+        np.testing.assert_allclose(out, [0.0, 0.0, 5.0, 5.0])
+
+    def test_rank_by_rank_lower_first(self):
+        """Rank0 prunes inside blocks before rank1 scores them."""
+        pattern = HSSPattern.from_ratios((1, 2), (1, 2))
+        # Block A: [10, 0], block B: [6, 5]. After rank0: A=[10,0],
+        # B=[6,0]. Rank1 keeps A (mean 5 > 3).
+        row = np.array([10.0, 0.0, 6.0, 5.0])
+        out = sparsify(row, pattern)
+        np.testing.assert_allclose(out, [10.0, 0.0, 0.0, 0.0])
+
+    def test_overall_sparsity(self, rng):
+        pattern = HSSPattern.from_ratios((2, 4), (2, 4))
+        out = sparsify(rng.normal(size=(8, 128)), pattern)
+        assert np.mean(out == 0) == pytest.approx(0.75)
+
+    def test_three_rank_pattern(self, rng):
+        pattern = HSSPattern.from_ratios((1, 2), (1, 2), (1, 2))
+        out = sparsify(rng.normal(size=(4, 64)), pattern)
+        assert np.mean(out == 0) == pytest.approx(1 - 1 / 8)
+        assert conforms(out, pattern)
+
+    def test_conforms_after_sparsify(self, rng):
+        pattern = HSSPattern.from_ratios((2, 4), (3, 4))
+        out = sparsify(rng.normal(size=(8, 96)), pattern)
+        assert conforms(out, pattern)
+
+
+class TestAxesAndShapes:
+    def test_axis_argument(self, rng):
+        pattern = HSSPattern.from_ratios((2, 4))
+        array = rng.normal(size=(16, 8))
+        out = sparsify(array, pattern, axis=0)
+        assert np.mean(out == 0, axis=0) == pytest.approx(0.5)
+
+    def test_3d_tensor(self, rng):
+        pattern = HSSPattern.from_ratios((2, 4))
+        out = sparsify(rng.normal(size=(2, 3, 16)), pattern, axis=-1)
+        assert out.shape == (2, 3, 16)
+        assert np.mean(out == 0) == pytest.approx(0.5)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(SparsificationError):
+            sparsify(np.array(3.0), HSSPattern.from_ratios((2, 4)))
+
+    def test_input_not_mutated(self, rng):
+        pattern = HSSPattern.from_ratios((2, 4))
+        array = rng.normal(size=(4, 16))
+        copy = array.copy()
+        sparsify(array, pattern)
+        np.testing.assert_array_equal(array, copy)
+
+
+class TestUnstructured:
+    def test_target_sparsity(self, rng):
+        out = sparsify_unstructured(rng.normal(size=(100, 100)), 0.7)
+        assert np.mean(out == 0) == pytest.approx(0.7, abs=1e-3)
+
+    def test_keeps_largest(self):
+        out = sparsify_unstructured(np.array([1.0, -5.0, 2.0, 4.0]), 0.5)
+        np.testing.assert_allclose(out, [0.0, -5.0, 0.0, 4.0])
+
+    def test_zero_sparsity_identity(self, rng):
+        array = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(
+            sparsify_unstructured(array, 0.0), array
+        )
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(SparsificationError):
+            sparsify_unstructured(np.ones(4), 1.0)
+
+
+class TestScaledL2Norm:
+    def test_is_mean_abs(self):
+        blocks = np.array([[1.0, -3.0], [0.0, 0.0]])
+        np.testing.assert_allclose(scaled_l2_norm(blocks), [2.0, 0.0])
+
+
+class TestRandomHssMatrix:
+    def test_density_exact(self):
+        pattern = HSSPattern.from_ratios((2, 4), (2, 4))
+        matrix = random_hss_matrix(32, 128, pattern)
+        assert np.mean(matrix != 0) == pytest.approx(pattern.density)
+
+    def test_dense_when_no_pattern(self):
+        matrix = random_hss_matrix(8, 8, None)
+        assert np.all(matrix != 0)
+
+    def test_deterministic_default_seed(self):
+        pattern = HSSPattern.from_ratios((2, 4))
+        first = random_hss_matrix(4, 16, pattern)
+        second = random_hss_matrix(4, 16, pattern)
+        np.testing.assert_array_equal(first, second)

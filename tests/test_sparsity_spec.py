@@ -1,0 +1,116 @@
+"""Tests for the fibertree-based sparsity specification and parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sparsity import GH, RankSpec, SparsitySpec, parse_spec
+from repro.sparsity.pattern import Dense, GHRange, Unconstrained
+from repro.sparsity.spec import weight_tensor_spec_view
+
+
+class TestRankSpec:
+    def test_default_rule_is_dense(self):
+        assert isinstance(RankSpec("C").rule, Dense)
+
+    def test_is_sparse(self):
+        assert RankSpec("C0", GH(2, 4)).is_sparse
+        assert not RankSpec("C").is_sparse
+
+    def test_str_with_rule(self):
+        assert str(RankSpec("C0", GH(2, 4))) == "C0(2:4)"
+
+    def test_str_dense(self):
+        assert str(RankSpec("RS")) == "RS"
+
+    def test_bad_name(self):
+        with pytest.raises(SpecificationError):
+            RankSpec("C->0")
+
+
+class TestParse:
+    def test_channel_spec(self):
+        spec = parse_spec("C(unconstrained)->R->S")
+        assert spec.rank_names == ("C", "R", "S")
+        assert isinstance(spec.ranks[0].rule, Unconstrained)
+
+    def test_stc_spec(self):
+        spec = parse_spec("RS->C1->C0(2:4)")
+        assert spec.ranks[2].rule == GH(2, 4)
+        assert spec.num_sparse_ranks == 1
+
+    def test_two_rank_hss_spec(self):
+        spec = parse_spec("RS->C2->C1(3:4)->C0(2:4)")
+        assert spec.num_sparse_ranks == 2
+        assert spec.is_hierarchical
+
+    def test_unicode_arrow(self):
+        spec = parse_spec("RS→C1→C0(2:4)")
+        assert spec.rank_names == ("RS", "C1", "C0")
+
+    def test_range_rule(self):
+        spec = parse_spec("C1(4:{4<=H<=8})->C0(2:4)")
+        assert isinstance(spec.ranks[0].rule, GHRange)
+
+    def test_round_trip_str(self):
+        text = "RS->C2->C1(3:4)->C0(2:4)"
+        assert str(parse_spec(text)) == text
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("")
+
+    def test_rejects_empty_rank(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("C->->S")
+
+    def test_rejects_unbalanced_parens(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("C0(2:4")
+
+    def test_rejects_duplicate_ranks(self):
+        with pytest.raises(SpecificationError):
+            parse_spec("C->C")
+
+
+class TestDerived:
+    def test_density_of_hss(self):
+        spec = parse_spec("RS->C2->C1(3:4)->C0(2:4)")
+        assert spec.density() == pytest.approx(0.375)
+        assert spec.sparsity() == pytest.approx(0.625)
+
+    def test_density_dense(self):
+        assert parse_spec("C->R->S").density() == 1.0
+
+    def test_density_none_for_unconstrained(self):
+        assert parse_spec("C(unconstrained)->R->S").density() is None
+
+    def test_succinct(self):
+        spec = parse_spec("RS->C2->C1(3:4)->C0(2:4)")
+        assert spec.succinct() == "C1(3:4)->C0(2:4)"
+
+    def test_succinct_dense(self):
+        assert parse_spec("C->R->S").succinct() == "dense"
+
+
+class TestWeightTensorView:
+    def test_two_level_partition(self, rng):
+        weights = rng.normal(size=(32, 3, 3))
+        view = weight_tensor_spec_view(weights, (4, 4))
+        assert view.rank_names == ("RS", "C2", "C1", "C0")
+        assert view.rank_shapes == (9, 2, 4, 4)
+
+    def test_one_level_partition(self, rng):
+        weights = rng.normal(size=(8, 1, 1))
+        view = weight_tensor_spec_view(weights, (4,))
+        assert view.rank_names == ("RS", "C1", "C0")
+
+    def test_content_preserved(self, rng):
+        weights = rng.normal(size=(8, 2, 2))
+        view = weight_tensor_spec_view(weights, (4,))
+        # occupancy must equal the number of (nonzero) weights
+        assert view.occupancy == np.count_nonzero(weights)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(SpecificationError):
+            weight_tensor_spec_view(np.zeros((2, 2)), (4,))

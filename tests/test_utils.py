@@ -1,0 +1,124 @@
+"""Tests for repro.utils helpers."""
+
+import math
+
+import pytest
+
+from repro.utils import (
+    ceil_div,
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_type,
+    geomean,
+    is_power_of_two,
+    prod,
+    round_up_to_multiple,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_one(self):
+        assert ceil_div(1, 4) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1.0
+
+    def test_values(self):
+        assert prod([2, 3, 4]) == 24.0
+
+    def test_fractions(self):
+        assert prod([0.5, 0.5]) == 0.25
+
+
+class TestGeomean:
+    def test_single(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_invariant_to_order(self):
+        assert geomean([2, 8, 4]) == pytest.approx(geomean([8, 4, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_matches_log_definition(self):
+        values = [1.5, 2.5, 9.0, 0.1]
+        expected = math.exp(sum(math.log(v) for v in values) / 4)
+        assert geomean(values) == pytest.approx(expected)
+
+
+class TestPowersAndRounding:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+
+    def test_not_power_of_two(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_round_up(self):
+        assert round_up_to_multiple(5, 4) == 8
+
+    def test_round_up_exact(self):
+        assert round_up_to_multiple(8, 4) == 8
+
+    def test_round_up_bad_multiple(self):
+        with pytest.raises(ValueError):
+            round_up_to_multiple(5, 0)
+
+
+class TestValidation:
+    def test_check_positive_ok(self):
+        check_positive("x", 1)
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_probability_bounds(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+
+    def test_check_probability_rejects(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_fraction_ok(self):
+        check_fraction("f", 2, 4)
+
+    def test_check_fraction_g_above_h(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 5, 4)
+
+    def test_check_fraction_non_integer(self):
+        with pytest.raises(TypeError):
+            check_fraction("f", 2.0, 4)
+
+    def test_check_type(self):
+        check_type("x", 3, int)
+        with pytest.raises(TypeError):
+            check_type("x", 3, str)

@@ -8,11 +8,14 @@ sparsity and fastest at high sparsity, S2TA cannot run dense-A cells.
 from conftest import emit
 
 from repro.eval import experiments as E
+from repro.eval.engine import SweepEngine
 from repro.eval.reporting import render_fig13
 
 
 def test_fig13(benchmark, estimator):
-    result = benchmark(E.fig13, estimator)
+    # A fresh engine per call: the shared per-estimator engine would
+    # memoize the sweep and later rounds would time cache lookups.
+    result = benchmark(lambda: E.fig13(engine=SweepEngine(estimator)))
     for metric in ("edp", "energy_pj", "cycles"):
         emit(f"Fig. 13 [{metric}]", render_fig13(result, metric))
 

@@ -8,11 +8,13 @@ lowest total energy with SAF energy a small slice; the SAFs account for
 from conftest import emit
 
 from repro.eval import experiments as E
+from repro.eval.engine import SweepEngine
 from repro.eval.reporting import render_fig16
 
 
 def test_fig16(benchmark, estimator):
-    result = benchmark(E.fig16, estimator)
+    # A fresh engine per call (see bench_fig13): keep rounds honest.
+    result = benchmark(lambda: E.fig16(engine=SweepEngine(estimator)))
     emit("Fig. 16", render_fig16(result))
 
     assert abs(result.highlight_saf_area_fraction - 0.057) < 0.015

@@ -1,9 +1,10 @@
 """Shared fixtures for the benchmark harness.
 
 Each ``bench_*`` module regenerates one table or figure of the paper's
-evaluation section (see DESIGN.md's experiment index): the benchmark
-body runs the experiment, and the module prints the same rows/series
-the paper reports so the output can be compared side by side.
+evaluation section (see the artifact index in the root README.md): the
+benchmark body runs the experiment, and the module prints the same
+rows/series the paper reports so the output can be compared side by
+side.
 """
 
 import pytest

@@ -9,7 +9,7 @@ STC nor DSTC wins on both networks, while HighLight is lowest on both.
 Run: ``python examples/dnn_accelerator_comparison.py``
 """
 
-from repro.accelerators import all_designs
+from repro.accelerators import REGISTRY, all_designs
 from repro.dnn.models import all_models
 from repro.energy import Estimator
 from repro.eval.experiments import (
@@ -26,7 +26,9 @@ def main() -> None:
     for model in all_models():
         print(f"\n=== {model.name} (activations "
               f"{model.activation_sparsity:.0%} sparse) ===")
-        baseline = evaluate_model(designs[0], model, 0.0, estimator)
+        baseline = evaluate_model(
+            REGISTRY.create("TC"), model, 0.0, estimator
+        )
         assert baseline is not None
         for design in designs:
             if design.name == "DSTC":

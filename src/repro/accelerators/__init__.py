@@ -9,9 +9,21 @@
   two-rank HSS operand A, compression + gating of operand B.
 * :class:`DSSO` — the Sec. 7.5 dual-side HSS study design with
   alternating dense ranks.
+
+Every design self-registers in :data:`repro.accelerators.registry.REGISTRY`
+with metadata (category, sparsity side, Table 4 position); sweeps and
+the CLI resolve designs by name through the registry rather than by
+constructor.
 """
 
 from repro.accelerators.base import AcceleratorDesign, best_orientation
+from repro.accelerators.registry import (
+    REGISTRY,
+    DesignInfo,
+    DesignRegistry,
+    RegistryError,
+    register_design,
+)
 from repro.accelerators.tc import TC
 from repro.accelerators.stc import STC
 from repro.accelerators.s2ta import S2TA
@@ -22,6 +34,11 @@ from repro.accelerators.dsso import DSSO
 __all__ = [
     "AcceleratorDesign",
     "best_orientation",
+    "REGISTRY",
+    "DesignInfo",
+    "DesignRegistry",
+    "RegistryError",
+    "register_design",
     "TC",
     "STC",
     "S2TA",
@@ -29,9 +46,23 @@ __all__ = [
     "HighLight",
     "DSSO",
     "all_designs",
+    "main_design_names",
 ]
 
 
+def main_design_names():
+    """Names of the main-evaluation designs, in Table 4 order."""
+    infos = REGISTRY.filter(main_evaluation=True)
+    infos.sort(key=lambda info: info.metadata["table4_order"])
+    return tuple(info.name for info in infos)
+
+
 def all_designs():
-    """The five designs of the main evaluation, in Table 4 order."""
-    return (TC(), STC(), DSTC(), S2TA(), HighLight())
+    """Fresh instances of the five main-evaluation designs — TC, STC,
+    DSTC, S2TA and HighLight — in Table 4 order.
+
+    DSSO, the Sec. 7.5 dual-side study design, is not part of the main
+    evaluation; reach it through ``REGISTRY.create("DSSO")`` (its
+    registry metadata carries ``study="sec7.5"``).
+    """
+    return tuple(REGISTRY.create(name) for name in main_design_names())

@@ -12,6 +12,7 @@ gates on B). The trade-off: fewer supported operand-B degrees.
 from __future__ import annotations
 
 from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.registry import register_design
 from repro.arch.designs import highlight_resources
 from repro.compression.formats import offset_bits
 from repro.energy.estimator import Estimator
@@ -29,6 +30,8 @@ DSSO_A_RANK0 = GHRange(2, 4, 4)
 DSSO_B_RANK1 = GHRange(2, 2, 8)
 
 
+@register_design(category="hss", sparsity_side="dual",
+                 main_evaluation=False, study="sec7.5")
 class DSSO(AcceleratorDesign):
     """The dual-side HSS design of Fig. 17."""
 

@@ -11,6 +11,7 @@ affecting cycles (Sec. 6.4).
 from __future__ import annotations
 
 from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.registry import register_design
 from repro.arch.designs import highlight_resources
 from repro.compression.formats import offset_bits
 from repro.energy.estimator import Estimator
@@ -31,6 +32,8 @@ WORD_BITS = 16
 B_SPARSITY_HAIRCUT = 0.05
 
 
+@register_design(category="hss", sparsity_side="single",
+                 table4_order=4, main_evaluation=True)
 class HighLight(AcceleratorDesign):
     """The HSS accelerator (Table 3 row "HighLight")."""
 

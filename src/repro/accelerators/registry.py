@@ -1,0 +1,133 @@
+"""The design registry: names -> factories plus queryable metadata.
+
+Designs register themselves (usually via the :func:`register_design`
+class decorator) with free-form metadata — category, sparsity side,
+Table 4 position, whether they belong to the paper's main evaluation.
+Everything downstream (the sweep engine, the CLI, ``all_designs()``)
+looks designs up by name or metadata instead of hard-coding
+constructors, so adding a design is one decorated class, not edits
+across the evaluation stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.accelerators.base import AcceleratorDesign
+from repro.errors import ReproError
+
+
+class RegistryError(ReproError):
+    """An invalid registry operation (e.g. duplicate registration)."""
+
+
+@dataclass(frozen=True)
+class DesignInfo:
+    """One registered design: its name, factory and metadata."""
+
+    name: str
+    factory: Callable[[], AcceleratorDesign]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def create(self) -> AcceleratorDesign:
+        return self.factory()
+
+    def matches(self, **filters: Any) -> bool:
+        """Whether every ``key=value`` filter equals this design's
+        metadata entry (missing keys never match)."""
+        return all(
+            self.metadata.get(key, _MISSING) == value
+            for key, value in filters.items()
+        )
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+class DesignRegistry:
+    """An ordered name -> :class:`DesignInfo` mapping."""
+
+    def __init__(self) -> None:
+        self._designs: Dict[str, DesignInfo] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], AcceleratorDesign],
+        **metadata: Any,
+    ) -> DesignInfo:
+        """Register ``factory`` under ``name``.
+
+        Raises :class:`RegistryError` on duplicate names: two designs
+        silently sharing a name would corrupt every sweep keyed on it.
+        """
+        if name in self._designs:
+            raise RegistryError(f"design already registered: {name!r}")
+        info = DesignInfo(name=name, factory=factory, metadata=dict(metadata))
+        self._designs[name] = info
+        return info
+
+    def __getitem__(self, name: str) -> DesignInfo:
+        try:
+            return self._designs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown design {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def get(self, name: str) -> Optional[DesignInfo]:
+        return self._designs.get(name)
+
+    def create(self, name: str) -> AcceleratorDesign:
+        """A fresh instance of the named design."""
+        return self[name].create()
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._designs)
+
+    def filter(self, **filters: Any) -> List[DesignInfo]:
+        """All designs whose metadata matches every ``key=value``."""
+        return [
+            info for info in self._designs.values() if info.matches(**filters)
+        ]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._designs
+
+    def __iter__(self) -> Iterator[DesignInfo]:
+        return iter(self._designs.values())
+
+    def __len__(self) -> int:
+        return len(self._designs)
+
+
+#: The process-wide registry the evaluation stack resolves names against.
+REGISTRY = DesignRegistry()
+
+
+def register_design(
+    registry: Optional[DesignRegistry] = None, **metadata: Any
+) -> Callable[[type], type]:
+    """Class decorator: register an :class:`AcceleratorDesign` subclass
+    under its ``name`` attribute, with the given metadata.
+
+    ::
+
+        @register_design(category="dense", sparsity_side="none")
+        class TC(AcceleratorDesign):
+            name = "TC"
+    """
+    target = registry if registry is not None else REGISTRY
+
+    def decorator(cls: type) -> type:
+        target.register(cls.name, cls, **metadata)
+        return cls
+
+    return decorator

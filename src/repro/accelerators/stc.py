@@ -9,6 +9,7 @@ always processed dense (no compression unit in the design).
 from __future__ import annotations
 
 from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.registry import register_design
 from repro.arch.designs import stc_resources
 from repro.energy.estimator import Estimator
 from repro.model.density import stc_effective_density
@@ -21,6 +22,8 @@ META_BITS_PER_VALUE = 2
 WORD_BITS = 16
 
 
+@register_design(category="structured", sparsity_side="single",
+                 table4_order=1, main_evaluation=True)
 class STC(AcceleratorDesign):
     """Sparse-tensor-core-like design (Table 3: A dense or C0({G<=2}:4))."""
 

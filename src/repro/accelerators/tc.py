@@ -8,6 +8,7 @@ stored and moved uncompressed. Zero sparsity tax, zero sparsity benefit
 from __future__ import annotations
 
 from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.registry import register_design
 from repro.arch.designs import tc_resources
 from repro.energy.estimator import Estimator
 from repro.model.perf import build_metrics
@@ -15,6 +16,8 @@ from repro.model.metrics import Metrics
 from repro.model.workload import MatmulWorkload
 
 
+@register_design(category="dense", sparsity_side="none",
+                 table4_order=0, main_evaluation=True)
 class TC(AcceleratorDesign):
     """Dense accelerator: 320 KB GLB, 4 x 2 KB RF, 1024 MACs."""
 

@@ -1,25 +1,37 @@
-"""Command-line interface: regenerate any paper artifact.
+"""Command-line interface: paper artifacts, custom sweeps, run records.
 
 Usage::
 
-    python -m repro <artifact> [...]
-    python -m repro all
-    python -m repro report [path]
+    python -m repro artifact <name> [...]   # regenerate paper artifacts
+    python -m repro sweep [--designs ...]   # run a custom sparsity grid
+    python -m repro list [--filter k=v]     # registered designs/artifacts
+    python -m repro report [--output PATH]  # EXPERIMENTS.md record
 
-Artifacts: ``tables``, ``fig2``, ``fig6``, ``fig13``, ``fig14``,
-``fig15``, ``fig16``, ``fig17``. ``report`` writes the EXPERIMENTS.md
-paper-vs-measured record.
+Bare artifact names keep working as shorthand: ``python -m repro
+fig13`` and ``python -m repro all`` mean ``artifact fig13`` / ``artifact
+all``. Artifacts: ``tables``, ``fig2``, ``fig6``, ``fig13``, ``fig14``,
+``fig15``, ``fig16``, ``fig17``.
+
+All artifacts of one invocation share a single estimator and one
+memoizing :class:`~repro.eval.engine.SweepEngine`, so ``repro all``
+evaluates each unique (design, workload, sparsity) cell exactly once
+even though Fig. 14 and Fig. 16 revisit the Fig. 13 sweep.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.accelerators import REGISTRY, main_design_names
 from repro.energy import Estimator
+from repro.errors import EvaluationError
 from repro.eval import experiments as E
 from repro.eval import reporting as R
+from repro.eval.engine import SweepEngine
+from repro.eval.runs import record_from_sweep
 
 
 def _run_tables(estimator: Estimator) -> str:
@@ -99,42 +111,273 @@ ARTIFACTS: Dict[str, Callable[[Estimator], str]] = {
 ORDER = ["tables", "fig2", "fig6", "fig13", "fig14", "fig15", "fig16",
          "fig17"]
 
+#: Geomean-able sweep metrics the `sweep` subcommand can render.
+SWEEP_METRICS = ("edp", "energy_pj", "cycles", "ed2")
 
-def run_artifacts(names: List[str]) -> str:
-    estimator = Estimator()
+
+def run_artifacts(
+    names: List[str],
+    estimator: Optional[Estimator] = None,
+    jobs: int = 1,
+) -> str:
+    """Render the named artifacts off one shared estimator + engine."""
+    estimator = estimator or Estimator()
+    engine = SweepEngine.shared(estimator)
+    engine.jobs = max(engine.jobs, jobs)
     outputs = []
     for name in names:
         outputs.append(ARTIFACTS[name](estimator))
     return "\n\n".join(outputs)
 
 
-def main(argv: List[str] = None) -> int:
+def _parse_degrees(text: str) -> Tuple[float, ...]:
+    try:
+        degrees = tuple(
+            float(part) for part in text.split(",") if part.strip()
+        )
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated sparsity degrees, got {text!r}"
+        )
+    if not degrees:
+        raise argparse.ArgumentTypeError("empty degree list")
+    for degree in degrees:
+        if not 0.0 <= degree < 1.0:
+            raise argparse.ArgumentTypeError(
+                f"sparsity degrees must be in [0, 1), got {degree}"
+            )
+    return degrees
+
+
+def _parse_names(text: str) -> Tuple[str, ...]:
+    names = tuple(dict.fromkeys(
+        part.strip() for part in text.split(",") if part.strip()
+    ))
+    if not names:
+        raise argparse.ArgumentTypeError("empty design list")
+    return names
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _coerce_metadata_value(text: str) -> object:
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate HighLight (MICRO 2023) paper artifacts.",
+        description="Regenerate HighLight (MICRO 2023) paper artifacts "
+        "and run custom sparsity sweeps.",
     )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", metavar="command")
+    sub.required = True
+
+    artifact = sub.add_parser(
         "artifact",
-        choices=sorted(ARTIFACTS) + ["all", "report"],
-        help="which figure/table to regenerate",
+        help="regenerate paper figures/tables (shorthand: bare names)",
     )
-    parser.add_argument(
-        "path",
-        nargs="?",
-        default="EXPERIMENTS.md",
-        help="output path (report mode only)",
+    artifact.add_argument(
+        "names",
+        nargs="+",
+        choices=sorted(ARTIFACTS) + ["all"],
+        metavar="name",
+        help="artifact name(s), or 'all' for the paper order",
     )
-    args = parser.parse_args(argv)
+    artifact.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="parallel sweep-cell workers (default 1)",
+    )
+    artifact.add_argument(
+        "--output",
+        default=None,
+        help="(report mode only — rejected here with an explicit error)",
+    )
 
-    if args.artifact == "report":
-        from repro.eval.report import write_report
+    sweep = sub.add_parser(
+        "sweep", help="evaluate a custom design x sparsity grid"
+    )
+    sweep.add_argument(
+        "--designs", type=_parse_names, default=None, metavar="A,B,...",
+        help="comma-separated registered design names "
+        "(default: the five main-evaluation designs)",
+    )
+    sweep.add_argument(
+        "--a-degrees", type=_parse_degrees,
+        default=E.A_DEGREES, metavar="D,D,...",
+        help="operand-A sparsity degrees (default: the Fig. 13 grid)",
+    )
+    sweep.add_argument(
+        "--b-degrees", type=_parse_degrees,
+        default=E.B_DEGREES, metavar="D,D,...",
+        help="operand-B sparsity degrees (default: the Fig. 13 grid)",
+    )
+    sweep.add_argument(
+        "--size", type=int, default=1024, metavar="N",
+        help="cubic GEMM side M=K=N (default 1024)",
+    )
+    sweep.add_argument(
+        "--metric", choices=SWEEP_METRICS, default="edp",
+        help="metric to render (default edp)",
+    )
+    sweep.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="parallel sweep-cell workers (default 1)",
+    )
+    sweep.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write a JSON run record of this sweep",
+    )
 
-        write_report(args.path)
-        print(f"wrote {args.path}")
-        return 0
-    names = ORDER if args.artifact == "all" else [args.artifact]
-    print(run_artifacts(names))
+    lister = sub.add_parser(
+        "list", help="list registered designs and available artifacts"
+    )
+    lister.add_argument(
+        "--filter", action="append", default=[], metavar="KEY=VALUE",
+        help="only designs whose registry metadata matches (repeatable)",
+    )
+
+    report = sub.add_parser(
+        "report", help="write the EXPERIMENTS.md paper-vs-measured record"
+    )
+    report.add_argument(
+        "--output", default="EXPERIMENTS.md", metavar="PATH",
+        help="destination path (default EXPERIMENTS.md)",
+    )
+    return parser
+
+
+def _cmd_artifact(args: argparse.Namespace,
+                  parser: argparse.ArgumentParser) -> int:
+    if args.output is not None:
+        parser.error(
+            "--output is only valid with the 'report' subcommand "
+            "(artifacts print to stdout)"
+        )
+    names = ORDER if "all" in args.names else list(args.names)
+    print(run_artifacts(names, jobs=args.jobs))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    design_names = (
+        tuple(args.designs) if args.designs else main_design_names()
+    )
+    for name in design_names:
+        if name not in REGISTRY:
+            parser.error(
+                f"unknown design {name!r}; run 'repro list' for the "
+                f"registered names"
+            )
+    start = time.perf_counter()
+    engine = SweepEngine(jobs=args.jobs)
+    sweep = engine.sweep(
+        designs=design_names,
+        a_degrees=args.a_degrees,
+        b_degrees=args.b_degrees,
+        m=args.size, k=args.size, n=args.size,
+    )
+    wall_time_s = time.perf_counter() - start
+    try:
+        rendered = R.render_sweep(sweep, args.metric)
+    except EvaluationError as error:
+        # E.g. S2TA as baseline on a grid with a dense-dense cell it
+        # cannot process: normalization has nothing to divide by.
+        parser.error(
+            f"cannot normalize this grid: {error}. Include TC in "
+            f"--designs or restrict the degree grids to cells the "
+            f"baseline ({sweep.baseline}) supports."
+        )
+    print(rendered)
+    print(
+        f"\n{len(design_names)} designs x {len(args.a_degrees)}x"
+        f"{len(args.b_degrees)} degree grid @ {args.size}^3, "
+        f"jobs={args.jobs}: {engine.stats.misses} cells evaluated "
+        f"in {wall_time_s:.2f}s"
+    )
+    if args.record:
+        record = record_from_sweep(
+            command="sweep",
+            sweep=sweep,
+            engine=engine,
+            wall_time_s=wall_time_s,
+            shape=(args.size, args.size, args.size),
+        )
+        path = record.write(args.record)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace,
+              parser: argparse.ArgumentParser) -> int:
+    filters = {}
+    for item in args.filter:
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            parser.error(
+                f"bad --filter {item!r}; expected KEY=VALUE "
+                f"(e.g. sparsity_side=dual)"
+            )
+        filters[key] = _coerce_metadata_value(value)
+    infos = REGISTRY.filter(**filters) if filters else list(REGISTRY)
+    rows = [
+        [
+            info.name,
+            str(info.metadata.get("category", "-")),
+            str(info.metadata.get("sparsity_side", "-")),
+            ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(info.metadata.items())
+                if key not in ("category", "sparsity_side")
+            ) or "-",
+        ]
+        for info in infos
+    ]
+    print("Registered designs")
+    print(R.format_table(
+        ["name", "category", "sparsity side", "metadata"], rows
+    ))
+    print(f"\nArtifacts: {' '.join(ORDER)} (plus 'all')")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import write_report
+
+    write_report(args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and (argv[0] in ARTIFACTS or argv[0] == "all"):
+        argv = ["artifact"] + argv
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "artifact":
+        return _cmd_artifact(args, parser)
+    if args.command == "sweep":
+        return _cmd_sweep(args, parser)
+    if args.command == "list":
+        return _cmd_list(args, parser)
+    return _cmd_report(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,10 +2,14 @@
 
 :mod:`repro.eval.harness` applies the paper's evaluation rules (each
 design gets each sparsity *degree* realized in the structure flavor it
-supports, and operands may be swapped — Sec. 7.1); the experiment
-functions in :mod:`repro.eval.experiments` regenerate every figure and
-table of the evaluation section; :mod:`repro.eval.reporting` prints
-them in the same rows/series the paper reports.
+supports, and operands may be swapped — Sec. 7.1);
+:mod:`repro.eval.engine` turns declared (design, workload, sparsity)
+grids into memoized, optionally parallel cell evaluations; the
+experiment functions in :mod:`repro.eval.experiments` regenerate every
+figure and table of the evaluation section on top of it;
+:mod:`repro.eval.reporting` prints them in the same rows/series the
+paper reports, and :mod:`repro.eval.runs` snapshots whole sweep
+invocations as JSON run records.
 """
 
 from repro.eval.harness import (
@@ -13,15 +17,24 @@ from repro.eval.harness import (
     realize_workloads,
     workload_for_layer,
 )
+from repro.eval.engine import Cell, SweepEngine, SweepResult, grid_cells
 from repro.eval.pareto import pareto_frontier, is_on_frontier
+from repro.eval.runs import RunRecord, load_record, record_from_sweep
 from repro.eval import experiments, reporting
 
 __all__ = [
     "evaluate_cell",
     "realize_workloads",
     "workload_for_layer",
+    "Cell",
+    "SweepEngine",
+    "SweepResult",
+    "grid_cells",
     "pareto_frontier",
     "is_on_frontier",
+    "RunRecord",
+    "load_record",
+    "record_from_sweep",
     "experiments",
     "reporting",
 ]

@@ -1,0 +1,287 @@
+"""The batched sweep engine: declarative grids, memoized cells,
+optional parallel execution.
+
+Experiments declare *what* to evaluate — a grid of
+(design, sparsity_A, sparsity_B, shape) :class:`Cell`\\ s — and the
+:class:`SweepEngine` decides *how*: it deduplicates cells, serves
+repeats from a cache keyed on the cell's content, evaluates the
+remainder (in parallel when ``jobs > 1``) and returns results in the
+requested order. Engines are shared per estimator (see
+:meth:`SweepEngine.shared`), so ``repro all`` — where Fig. 14 re-reads
+the Fig. 13 sweep and Fig. 16 revisits one of its cells — evaluates
+every unique cell exactly once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerators import REGISTRY, main_design_names
+from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.registry import DesignRegistry
+from repro.energy.estimator import Estimator
+from repro.errors import EvaluationError
+from repro.eval.harness import evaluate_cell
+from repro.model.metrics import Metrics
+from repro.utils import geomean
+
+#: The paper's synthetic Fig. 13 sparsity grid.
+DEFAULT_A_DEGREES: Tuple[float, ...] = (0.0, 0.5, 0.75)
+DEFAULT_B_DEGREES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
+
+#: (design, round(a), round(b), m, k, n) — the memoization key.
+CellKey = Tuple[str, float, float, int, int, int]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One unit of sweep work: a design name on one workload point."""
+
+    design: str
+    sparsity_a: float
+    sparsity_b: float
+    m: int = 1024
+    k: int = 1024
+    n: int = 1024
+
+    @property
+    def key(self) -> CellKey:
+        """Content key (degrees rounded so 0.5 and 0.5000000001 — float
+        noise from grid arithmetic — share a cache entry)."""
+        return (
+            self.design,
+            round(self.sparsity_a, 9),
+            round(self.sparsity_b, 9),
+            self.m,
+            self.k,
+            self.n,
+        )
+
+
+@dataclass
+class EngineStats:
+    """Cache behavior counters, cumulative over an engine's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "requests": self.requests,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Per-cell metrics for every design over a sparsity sweep."""
+
+    cells: Dict[Tuple[float, float], Dict[str, Optional[Metrics]]]
+    design_order: Tuple[str, ...]
+    baseline: str = "TC"
+
+    def normalized(self, metric: str) -> Dict[
+        Tuple[float, float], Dict[str, Optional[float]]
+    ]:
+        """Per-cell design/baseline ratios for ``metric``."""
+        out: Dict[Tuple[float, float], Dict[str, Optional[float]]] = {}
+        for cell, per_design in self.cells.items():
+            base = per_design[self.baseline]
+            if base is None:
+                raise EvaluationError(f"baseline missing for cell {cell}")
+            row: Dict[str, Optional[float]] = {}
+            for design, metrics in per_design.items():
+                row[design] = (
+                    None
+                    if metrics is None
+                    else getattr(metrics, metric) / getattr(base, metric)
+                )
+            out[cell] = row
+        return out
+
+    def geomeans(
+        self, metric: str, unsupported_as_baseline: bool = True
+    ) -> Dict[str, float]:
+        """Geomean of normalized ``metric`` per design (Fig. 14).
+
+        Cells a design cannot process (S2TA on dense-dense) count at
+        baseline parity by default — otherwise a design would improve
+        its geomean by *failing* on its worst workloads.
+        """
+        normalized = self.normalized(metric)
+        out: Dict[str, float] = {}
+        for design in self.design_order:
+            values = []
+            for row in normalized.values():
+                value = row[design]
+                if value is None:
+                    if unsupported_as_baseline:
+                        values.append(1.0)
+                    continue
+                values.append(value)
+            out[design] = geomean(values)
+        return out
+
+    def gain_over(
+        self, other_design: str, metric: str = "edp",
+        target: str = "HighLight",
+    ) -> Tuple[float, float]:
+        """(geomean, max) of other/target ratios over shared cells."""
+        normalized = self.normalized(metric)
+        ratios = []
+        for row in normalized.values():
+            ours = row[target]
+            theirs = row[other_design]
+            if ours is None or theirs is None:
+                continue
+            ratios.append(theirs / ours)
+        if not ratios:
+            raise EvaluationError(
+                f"no shared cells between {target} and {other_design}"
+            )
+        return geomean(ratios), max(ratios)
+
+
+def grid_cells(
+    designs: Sequence[str],
+    a_degrees: Sequence[float],
+    b_degrees: Sequence[float],
+    m: int = 1024,
+    k: int = 1024,
+    n: int = 1024,
+) -> List[Cell]:
+    """The dense cell grid, A-major then B then design (sweep order)."""
+    return [
+        Cell(design, sparsity_a, sparsity_b, m, k, n)
+        for sparsity_a in a_degrees
+        for sparsity_b in b_degrees
+        for design in designs
+    ]
+
+
+class SweepEngine:
+    """Memoizing, optionally parallel executor for sweep cells.
+
+    One engine owns one :class:`Estimator` (so every cell is costed
+    from identical technology assumptions) and one cell cache. Results
+    are deterministic and independent of ``jobs``: cells are evaluated
+    by pure analytical models and returned in request order.
+    """
+
+    #: Attribute under which the shared engine rides on its estimator,
+    #: so engine + cache lifetimes are exactly the estimator's.
+    _SHARED_ATTR = "_shared_sweep_engine"
+
+    def __init__(
+        self,
+        estimator: Optional[Estimator] = None,
+        jobs: int = 1,
+        registry: Optional[DesignRegistry] = None,
+    ) -> None:
+        if jobs < 1:
+            raise EvaluationError(f"jobs must be >= 1, got {jobs}")
+        self.estimator = estimator if estimator is not None else Estimator()
+        self.jobs = jobs
+        self.registry = registry if registry is not None else REGISTRY
+        self.stats = EngineStats()
+        self._cache: Dict[CellKey, Optional[Metrics]] = {}
+        self._instances: Dict[str, AcceleratorDesign] = {}
+
+    @classmethod
+    def shared(cls, estimator: Optional[Estimator] = None) -> "SweepEngine":
+        """The engine bound to ``estimator`` (created on first use).
+
+        With no estimator a fresh, unshared engine is returned —
+        matching the old "each call builds its own Estimator" behavior.
+        """
+        if estimator is None:
+            return cls()
+        engine = getattr(estimator, cls._SHARED_ATTR, None)
+        if engine is None:
+            engine = cls(estimator)
+            setattr(estimator, cls._SHARED_ATTR, engine)
+        return engine
+
+    def design(self, name: str) -> AcceleratorDesign:
+        """The engine's instance of a registered design (one per name;
+        designs are stateless so instances are safely reused)."""
+        if name not in self._instances:
+            self._instances[name] = self.registry.create(name)
+        return self._instances[name]
+
+    def _evaluate(self, cell: Cell) -> Optional[Metrics]:
+        return evaluate_cell(
+            self.design(cell.design),
+            cell.sparsity_a,
+            cell.sparsity_b,
+            self.estimator,
+            cell.m,
+            cell.k,
+            cell.n,
+        )
+
+    def evaluate_cells(
+        self, cells: Sequence[Cell]
+    ) -> List[Optional[Metrics]]:
+        """Metrics for each cell, in order; repeats and previously seen
+        cells come from the cache."""
+        pending: Dict[CellKey, Cell] = {}
+        for cell in cells:
+            key = cell.key
+            if key not in self._cache and key not in pending:
+                pending[key] = cell
+        self.stats.misses += len(pending)
+        self.stats.hits += len(cells) - len(pending)
+        if pending:
+            todo = list(pending.values())
+            if self.jobs > 1:
+                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                    results = list(pool.map(self._evaluate, todo))
+            else:
+                results = [self._evaluate(cell) for cell in todo]
+            for key, metrics in zip(pending, results):
+                self._cache[key] = metrics
+        return [self._cache[cell.key] for cell in cells]
+
+    def sweep(
+        self,
+        designs: Optional[Sequence[str]] = None,
+        a_degrees: Sequence[float] = DEFAULT_A_DEGREES,
+        b_degrees: Sequence[float] = DEFAULT_B_DEGREES,
+        m: int = 1024,
+        k: int = 1024,
+        n: int = 1024,
+        baseline: Optional[str] = None,
+    ) -> SweepResult:
+        """Run a full design x degree grid and structure the result.
+
+        ``designs`` defaults to the main-evaluation five; ``baseline``
+        defaults to ``"TC"`` when present, else the first design.
+        """
+        names = tuple(designs) if designs else main_design_names()
+        for name in names:
+            if name not in self.registry:
+                raise KeyError(
+                    f"unknown design {name!r}; registered: "
+                    f"{', '.join(self.registry.names())}"
+                )
+        cells = grid_cells(names, a_degrees, b_degrees, m, k, n)
+        results = iter(self.evaluate_cells(cells))
+        table: Dict[Tuple[float, float], Dict[str, Optional[Metrics]]] = {}
+        for sparsity_a in a_degrees:
+            for sparsity_b in b_degrees:
+                table[(sparsity_a, sparsity_b)] = {
+                    name: next(results) for name in names
+                }
+        if baseline is None:
+            baseline = "TC" if "TC" in names else names[0]
+        return SweepResult(
+            cells=table, design_order=names, baseline=baseline
+        )

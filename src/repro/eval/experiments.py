@@ -11,22 +11,20 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.accelerators import (
-    DSSO,
-    DSTC,
-    STC,
-    S2TA,
-    TC,
-    HighLight,
-    all_designs,
-)
+from repro.accelerators import REGISTRY, all_designs, main_design_names
 from repro.accelerators.base import AcceleratorDesign
 from repro.arch import area_breakdown, table4
 from repro.arch.area import AreaModel
 from repro.dnn.models import DnnModel, all_models
 from repro.energy.estimator import Estimator
-from repro.errors import EvaluationError
-from repro.eval.harness import evaluate_cell, workload_for_layer
+from repro.eval.engine import (
+    DEFAULT_A_DEGREES,
+    DEFAULT_B_DEGREES,
+    Cell,
+    SweepEngine,
+    SweepResult,
+)
+from repro.eval.harness import workload_for_layer
 from repro.eval.pareto import Point, is_on_frontier, pareto_frontier
 from repro.model.metrics import Metrics
 from repro.model.workload import (
@@ -40,11 +38,10 @@ from repro.sparsity.hss import (
     mux_cost,
     supported_degrees,
 )
-from repro.utils import geomean
 
 #: The synthetic sweep of Fig. 13.
-A_DEGREES = (0.0, 0.5, 0.75)
-B_DEGREES = (0.0, 0.25, 0.5, 0.75)
+A_DEGREES = DEFAULT_A_DEGREES
+B_DEGREES = DEFAULT_B_DEGREES
 
 #: Energy-breakdown buckets for Fig. 16(a).
 COMPONENT_BUCKETS = {
@@ -74,97 +71,26 @@ def _bucket(component: str) -> str:
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class SweepResult:
-    """Per-cell metrics for every design over the synthetic sweep."""
-
-    cells: Dict[Tuple[float, float], Dict[str, Optional[Metrics]]]
-    design_order: Tuple[str, ...]
-    baseline: str = "TC"
-
-    def normalized(self, metric: str) -> Dict[
-        Tuple[float, float], Dict[str, Optional[float]]
-    ]:
-        """Per-cell design/baseline ratios for ``metric``."""
-        out: Dict[Tuple[float, float], Dict[str, Optional[float]]] = {}
-        for cell, per_design in self.cells.items():
-            base = per_design[self.baseline]
-            if base is None:
-                raise EvaluationError(f"baseline missing for cell {cell}")
-            row: Dict[str, Optional[float]] = {}
-            for design, metrics in per_design.items():
-                row[design] = (
-                    None
-                    if metrics is None
-                    else getattr(metrics, metric) / getattr(base, metric)
-                )
-            out[cell] = row
-        return out
-
-    def geomeans(
-        self, metric: str, unsupported_as_baseline: bool = True
-    ) -> Dict[str, float]:
-        """Geomean of normalized ``metric`` per design (Fig. 14).
-
-        Cells a design cannot process (S2TA on dense-dense) count at
-        baseline parity by default — otherwise a design would improve
-        its geomean by *failing* on its worst workloads.
-        """
-        normalized = self.normalized(metric)
-        out: Dict[str, float] = {}
-        for design in self.design_order:
-            values = []
-            for row in normalized.values():
-                value = row[design]
-                if value is None:
-                    if unsupported_as_baseline:
-                        values.append(1.0)
-                    continue
-                values.append(value)
-            out[design] = geomean(values)
-        return out
-
-    def gain_over(
-        self, other_design: str, metric: str = "edp",
-        target: str = "HighLight",
-    ) -> Tuple[float, float]:
-        """(geomean, max) of other/target ratios over shared cells."""
-        normalized = self.normalized(metric)
-        ratios = []
-        for row in normalized.values():
-            ours = row[target]
-            theirs = row[other_design]
-            if ours is None or theirs is None:
-                continue
-            ratios.append(theirs / ours)
-        if not ratios:
-            raise EvaluationError(
-                f"no shared cells between {target} and {other_design}"
-            )
-        return geomean(ratios), max(ratios)
-
-
 def fig13(
     estimator: Optional[Estimator] = None,
     size: int = 1024,
     a_degrees: Sequence[float] = A_DEGREES,
     b_degrees: Sequence[float] = B_DEGREES,
+    engine: Optional[SweepEngine] = None,
 ) -> SweepResult:
-    """Fig. 13: latency/energy/EDP over the synthetic sparsity grid."""
-    estimator = estimator or Estimator()
-    designs = all_designs()
-    cells: Dict[Tuple[float, float], Dict[str, Optional[Metrics]]] = {}
-    for sparsity_a in a_degrees:
-        for sparsity_b in b_degrees:
-            row: Dict[str, Optional[Metrics]] = {}
-            for design in designs:
-                row[design.name] = evaluate_cell(
-                    design, sparsity_a, sparsity_b, estimator,
-                    m=size, k=size, n=size,
-                )
-            cells[(sparsity_a, sparsity_b)] = row
-    return SweepResult(
-        cells=cells, design_order=tuple(d.name for d in designs)
+    """Fig. 13: latency/energy/EDP over the synthetic sparsity grid.
+
+    The grid runs through the per-estimator shared :class:`SweepEngine`
+    (or an explicitly supplied one), so repeated calls with the same
+    estimator — ``repro all`` regenerating Fig. 14 from the Fig. 13
+    sweep — never re-evaluate a cell.
+    """
+    engine = engine or SweepEngine.shared(estimator)
+    return engine.sweep(
+        designs=main_design_names(),
+        a_degrees=a_degrees,
+        b_degrees=b_degrees,
+        m=size, k=size, n=size,
     )
 
 
@@ -323,7 +249,10 @@ def fig2(estimator: Optional[Estimator] = None) -> Fig2Result:
     """Fig. 2: TC/STC/DSTC/HighLight on pruned Transformer-Big and
     ResNet50, accuracy matched within 0.5%."""
     estimator = estimator or Estimator()
-    designs = {d.name: d for d in (TC(), STC(), DSTC(), HighLight())}
+    designs = {
+        name: REGISTRY.create(name)
+        for name in ("TC", "STC", "DSTC", "HighLight")
+    }
     models = {
         m.name: m for m in all_models() if m.name != "DeiT-small"
     }
@@ -487,21 +416,29 @@ class Fig16Result:
         return self.areas["HighLight"].saf_fraction
 
 
-def fig16(estimator: Optional[Estimator] = None) -> Fig16Result:
-    """Fig. 16: energy breakdown (A 75% sparse, B dense) and area."""
-    estimator = estimator or Estimator()
+def fig16(
+    estimator: Optional[Estimator] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Fig16Result:
+    """Fig. 16: energy breakdown (A 75% sparse, B dense) and area.
+
+    The breakdown cell is a Fig. 13 grid point, so under a shared
+    engine (``repro all``) it is a cache hit, not a re-evaluation.
+    """
+    engine = engine or SweepEngine.shared(estimator)
+    names = main_design_names()
+    cells = [Cell(name, 0.75, 0.0) for name in names]
     breakdown: Dict[str, Dict[str, float]] = {}
-    for design in all_designs():
-        metrics = evaluate_cell(design, 0.75, 0.0, estimator)
+    for name, metrics in zip(names, engine.evaluate_cells(cells)):
         if metrics is None:
             continue
         buckets: Dict[str, float] = {}
         for component, energy in metrics.energy_breakdown_pj.items():
             bucket = _bucket(component)
             buckets[bucket] = buckets.get(bucket, 0.0) + energy
-        breakdown[design.name] = buckets
+        breakdown[name] = buckets
     areas = {
-        resources.arch.name: area_breakdown(resources, estimator)
+        resources.arch.name: area_breakdown(resources, engine.estimator)
         for resources in table4()
     }
     return Fig16Result(energy_breakdown=breakdown, areas=areas)
@@ -529,8 +466,8 @@ def fig17(
     """Fig. 17: HighLight vs DSSO with A C1(dense)->C0(2:4) weights and
     B C1(2:{2<=H<=8})->C0(dense) activations."""
     estimator = estimator or Estimator()
-    highlight = HighLight()
-    dsso = DSSO()
+    highlight = REGISTRY.create("HighLight")
+    dsso = REGISTRY.create("DSSO")
     pattern_a = HSSPattern.from_ratios((2, 4))
     speeds: Dict[int, Tuple[float, float]] = {}
     for h in range(2, 9):
@@ -648,7 +585,7 @@ def table1_saf_inventory() -> List[Dict[str, str]]:
 
 def table3_dsso() -> Dict[str, str]:
     """The DSSO row used in the Sec. 7.5 study."""
-    design = DSSO()
+    design = REGISTRY.create("DSSO")
     return {"design": design.name, "patterns": design.supported_patterns}
 
 

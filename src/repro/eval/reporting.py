@@ -51,6 +51,29 @@ def render_fig13(result: SweepResult, metric: str = "edp") -> str:
     return title + "\n" + format_table(headers, rows)
 
 
+def render_sweep(result: SweepResult, metric: str = "edp") -> str:
+    """A custom sweep grid for one metric, normalized to the sweep's
+    own baseline design (the CLI ``sweep`` subcommand's view)."""
+    normalized = result.normalized(metric)
+    headers = ["A sparsity", "B sparsity"] + list(result.design_order)
+    rows: List[List[str]] = []
+    for (sparsity_a, sparsity_b), per_design in sorted(normalized.items()):
+        rows.append(
+            [f"{sparsity_a:.0%}", f"{sparsity_b:.0%}"]
+            + [_fmt(per_design[d]) for d in result.design_order]
+        )
+    title = (
+        f"Sweep — normalized {metric} "
+        f"(lower is better, {result.baseline} = 1)"
+    )
+    geomeans = result.geomeans(metric)
+    footer = "geomean: " + "  ".join(
+        f"{design}={geomeans[design]:.3f}"
+        for design in result.design_order
+    )
+    return title + "\n" + format_table(headers, rows) + "\n" + footer
+
+
 def render_fig14(geomeans: Dict[str, Dict[str, float]]) -> str:
     """The Fig. 14 geomean bars."""
     designs = list(next(iter(geomeans.values())).keys())

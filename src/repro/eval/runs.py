@@ -1,0 +1,118 @@
+"""Run records: a JSON artifact per sweep invocation (pycomex-style).
+
+Every recorded run captures what was asked (the resolved grid), what
+came out (per-cell metrics and per-design geomeans), and how the run
+behaved (wall time, cache hits/misses) — a trend-trackable snapshot to
+set next to the ``BENCH_*.json`` pytest-benchmark files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.eval.engine import SweepEngine, SweepResult
+from repro.model.metrics import Metrics
+
+#: Record format version, bumped on breaking schema changes.
+SCHEMA_VERSION = 1
+
+
+def metrics_summary(metrics: Optional[Metrics]) -> Optional[Dict[str, Any]]:
+    """The JSON-friendly slice of one cell's metrics (``None`` for
+    cells the design cannot process)."""
+    if metrics is None:
+        return None
+    return {
+        "cycles": metrics.cycles,
+        "energy_pj": metrics.energy_pj,
+        "edp": metrics.edp,
+        "utilization": metrics.utilization,
+        "supported": metrics.supported,
+        "swapped": metrics.swapped,
+    }
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One sweep invocation, ready to serialize."""
+
+    command: str
+    created_at: str
+    grid: Dict[str, Any]
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    geomeans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    cache: Dict[str, int] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def write(self, path: "str | Path") -> Path:
+        """Serialize to ``path`` (parent directories are created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(asdict(self), indent=2) + "\n")
+        return target
+
+
+def record_from_sweep(
+    command: str,
+    sweep: SweepResult,
+    engine: Optional[SweepEngine] = None,
+    wall_time_s: float = 0.0,
+    created_at: Optional[str] = None,
+    shape: Optional[Tuple[int, int, int]] = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from a structured sweep result.
+
+    Geomeans are recorded only when the sweep's baseline design is part
+    of the grid (normalization needs it); raw per-cell metrics are
+    always present.
+    """
+    if created_at is None:
+        created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    cells: List[Dict[str, Any]] = []
+    for (sparsity_a, sparsity_b), per_design in sweep.cells.items():
+        for design, metrics in per_design.items():
+            cells.append(
+                {
+                    "design": design,
+                    "sparsity_a": sparsity_a,
+                    "sparsity_b": sparsity_b,
+                    "metrics": metrics_summary(metrics),
+                }
+            )
+    geomeans: Dict[str, Dict[str, float]] = {}
+    if sweep.baseline in sweep.design_order:
+        try:
+            geomeans = {
+                metric: sweep.geomeans(metric)
+                for metric in ("edp", "energy_pj", "cycles", "ed2")
+            }
+        except EvaluationError:
+            geomeans = {}
+    grid = {
+        "designs": list(sweep.design_order),
+        "a_degrees": sorted({a for a, _ in sweep.cells}),
+        "b_degrees": sorted({b for _, b in sweep.cells}),
+        "baseline": sweep.baseline,
+    }
+    if shape is not None:
+        grid["shape_mkn"] = list(shape)
+    return RunRecord(
+        command=command,
+        created_at=created_at,
+        grid=grid,
+        cells=cells,
+        geomeans=geomeans,
+        wall_time_s=wall_time_s,
+        cache=engine.stats.as_dict() if engine is not None else {},
+    )
+
+
+def load_record(path: "str | Path") -> Dict[str, Any]:
+    """Read a previously written record back as plain data."""
+    return json.loads(Path(path).read_text())

@@ -17,7 +17,8 @@ from typing import Dict, List, Sequence
 from repro.energy.estimator import Estimator
 from repro.energy.tables import EnergyAreaTable, default_table
 from repro.errors import EvaluationError
-from repro.eval.experiments import SweepResult, fig13
+from repro.eval.engine import SweepEngine, SweepResult
+from repro.eval.experiments import fig13
 
 #: Constants whose uncertainty most plausibly affects conclusions.
 PERTURBABLE = (
@@ -90,19 +91,24 @@ def sweep_sensitivity(
     constants: Sequence[str] = PERTURBABLE,
     size: int = 1024,
     parity_tolerance: float = 0.05,
+    jobs: int = 1,
 ) -> List[SensitivityOutcome]:
     """Run Fig. 13 under each (constant, scale) perturbation.
 
     ``size`` defaults to the paper's 1024^3 workloads — the model is
     analytical, so full size costs nothing, and the traffic/compute
-    balance (and therefore the orderings) is size-dependent.
+    balance (and therefore the orderings) is size-dependent. Each
+    perturbation gets its own :class:`SweepEngine` (the cost table
+    differs, so nothing may be shared across perturbations); ``jobs``
+    parallelizes the cells within each perturbed sweep.
     """
     outcomes: List[SensitivityOutcome] = []
     base = default_table()
     for constant in constants:
         for scale in scales:
             table = perturb_table(base, constant, scale)
-            sweep = fig13(Estimator(table), size=size)
+            engine = SweepEngine(Estimator(table), jobs=jobs)
+            sweep = fig13(size=size, engine=engine)
             checks = _check(sweep, parity_tolerance)
             outcomes.append(
                 SensitivityOutcome(

@@ -11,11 +11,11 @@ artifact of the cube.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.accelerators import DSTC, STC, TC, HighLight
 from repro.energy.estimator import Estimator
-from repro.eval.harness import evaluate_cell
+from repro.eval.engine import Cell, SweepEngine, grid_cells
+from repro.model.metrics import Metrics
 
 #: DNN-realistic (M, K, N) shapes: conv-early, conv-late, FC, attention
 #: projection, Toeplitz-wide, reduction-heavy.
@@ -41,26 +41,55 @@ class ShapeOutcome:
     sparse_gain_vs_dense: float
 
 
+#: The designs and sparsity degrees each shape is checked at.
+SHAPE_DESIGNS: Tuple[str, ...] = ("TC", "STC", "DSTC", "HighLight")
+SHAPE_A_DEGREES: Tuple[float, ...] = (0.0, 0.5, 0.75)
+SHAPE_B_DEGREES: Tuple[float, ...] = (0.0, 0.5)
+
+
 def sweep_shapes(
     shapes: Sequence[Tuple[int, int, int]] = SHAPE_GRID,
-    estimator: Estimator = None,
+    estimator: Optional[Estimator] = None,
     parity_tolerance: float = 0.05,
+    engine: Optional[SweepEngine] = None,
+    jobs: int = 1,
 ) -> List[ShapeOutcome]:
-    """Check the headline orderings at every shape in the grid."""
-    estimator = estimator or Estimator()
-    designs = (TC(), STC(), DSTC(), HighLight())
-    outcomes: List[ShapeOutcome] = []
+    """Check the headline orderings at every shape in the grid.
+
+    The whole shapes x degrees x designs grid is declared up front and
+    handed to the :class:`SweepEngine` in one batch, so independent
+    cells can run in parallel (``jobs``) and the per-shape headline
+    lookups below are pure cache hits.
+    """
+    if engine is None:
+        engine = SweepEngine(estimator, jobs=jobs)
+    cells: List[Cell] = []
     for shape in shapes:
         m, k, n = shape
+        cells.extend(
+            grid_cells(
+                SHAPE_DESIGNS, SHAPE_A_DEGREES, SHAPE_B_DEGREES, m, k, n
+            )
+        )
+    engine.evaluate_cells(cells)
+
+    def lookup(
+        design: str, sparsity_a: float, sparsity_b: float,
+        shape: Tuple[int, int, int],
+    ) -> Optional[Metrics]:
+        m, k, n = shape
+        return engine.evaluate_cells(
+            [Cell(design, sparsity_a, sparsity_b, m, k, n)]
+        )[0]
+
+    outcomes: List[ShapeOutcome] = []
+    for shape in shapes:
         best = True
-        for sparsity_a in (0.0, 0.5, 0.75):
-            for sparsity_b in (0.0, 0.5):
-                per_design = {
-                    design.name: evaluate_cell(
-                        design, sparsity_a, sparsity_b, estimator,
-                        m, k, n,
-                    )
-                    for design in designs
+        for sparsity_a in SHAPE_A_DEGREES:
+            for sparsity_b in SHAPE_B_DEGREES:
+                per_design: Dict[str, Optional[Metrics]] = {
+                    name: lookup(name, sparsity_a, sparsity_b, shape)
+                    for name in SHAPE_DESIGNS
                 }
                 ours = per_design["HighLight"].edp
                 for name, metrics in per_design.items():
@@ -68,12 +97,10 @@ def sweep_shapes(
                         continue
                     if ours > metrics.edp * (1 + parity_tolerance):
                         best = False
-        dense_tc = evaluate_cell(designs[0], 0.0, 0.0, estimator, m, k, n)
-        dense_hl = evaluate_cell(designs[3], 0.0, 0.0, estimator, m, k, n)
-        sparse_tc = evaluate_cell(designs[0], 0.75, 0.5, estimator,
-                                  m, k, n)
-        sparse_hl = evaluate_cell(designs[3], 0.75, 0.5, estimator,
-                                  m, k, n)
+        dense_tc = lookup("TC", 0.0, 0.0, shape)
+        dense_hl = lookup("HighLight", 0.0, 0.0, shape)
+        sparse_tc = lookup("TC", 0.75, 0.5, shape)
+        sparse_hl = lookup("HighLight", 0.75, 0.5, shape)
         outcomes.append(
             ShapeOutcome(
                 shape=shape,

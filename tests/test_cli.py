@@ -1,8 +1,12 @@
 """Tests for the CLI and the EXPERIMENTS.md report generator."""
 
+import json
+
 import pytest
 
-from repro.cli import ARTIFACTS, main, run_artifacts
+from repro.cli import ARTIFACTS, ORDER, main, run_artifacts
+from repro.energy import Estimator
+from repro.eval import experiments as E
 from repro.eval.report import build_report
 
 
@@ -17,6 +21,10 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Table 4" in out
         assert "HighLight" in out
+
+    def test_artifact_subcommand_form(self, capsys):
+        assert main(["artifact", "fig6"]) == 0
+        assert "muxing overhead" in capsys.readouterr().out
 
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
@@ -34,9 +42,15 @@ class TestCli:
 
     def test_report_written(self, tmp_path, capsys):
         path = tmp_path / "EXPERIMENTS.md"
-        assert main(["report", str(path)]) == 0
+        assert main(["report", "--output", str(path)]) == 0
         content = path.read_text()
         assert "paper vs. measured" in content
+
+    def test_output_outside_report_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["artifact", "fig6", "--output", "somewhere.md"])
+        err = capsys.readouterr().err
+        assert "report" in err
 
 
 class TestReport:
@@ -57,3 +71,96 @@ class TestReport:
 
     def test_frontier_flags_positive(self, report):
         assert "NO" not in report.split("Fig. 15")[1].split("Fig. 16")[0]
+
+
+class TestSweepSubcommand:
+    def test_custom_grid_with_record(self, tmp_path, capsys):
+        record_path = tmp_path / "runs" / "out.json"
+        assert main([
+            "sweep", "--designs", "TC,HighLight",
+            "--a-degrees", "0.0,0.5", "--b-degrees", "0.0,0.25",
+            "--size", "256", "--jobs", "4",
+            "--record", str(record_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "normalized edp" in out
+        assert "geomean" in out
+        record = json.loads(record_path.read_text())
+        assert record["grid"]["designs"] == ["TC", "HighLight"]
+        assert record["cache"]["misses"] == 8
+        assert len(record["cells"]) == 8
+        assert record["geomeans"]["edp"]["TC"] == pytest.approx(1.0)
+
+    def test_sweep_accepts_dsso(self, capsys):
+        assert main([
+            "sweep", "--designs", "HighLight,DSSO",
+            "--a-degrees", "0.5", "--b-degrees", "0.5",
+            "--size", "128",
+        ]) == 0
+        assert "DSSO" in capsys.readouterr().out
+
+    def test_unknown_design_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--designs", "NoSuchDesign", "--size", "64"])
+        assert "unknown design" in capsys.readouterr().err
+
+    def test_bad_degree_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--a-degrees", "1.5"])
+
+    def test_unnormalizable_baseline_errors_cleanly(self, capsys):
+        """S2TA becomes the baseline but cannot process the dense-dense
+        cell — a clean parser error, not an EvaluationError traceback."""
+        with pytest.raises(SystemExit):
+            main(["sweep", "--designs", "S2TA,HighLight",
+                  "--size", "64"])
+        assert "Include TC" in capsys.readouterr().err
+
+
+class TestListSubcommand:
+    def test_lists_all_designs_and_artifacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("TC", "STC", "S2TA", "DSTC", "HighLight", "DSSO"):
+            assert name in out
+        for artifact in ORDER:
+            assert artifact in out
+
+    def test_metadata_filter(self, capsys):
+        assert main(["list", "--filter", "sparsity_side=dual"]) == 0
+        out = capsys.readouterr().out
+        assert "DSSO" in out
+        assert "HighLight" not in out
+
+    def test_bad_filter_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["list", "--filter", "nonsense"])
+
+
+class TestSingleEvaluationRegression:
+    def test_repro_all_evaluates_each_cell_once(self, monkeypatch):
+        """`repro all` regenerates Fig. 14 (and Fig. 16's breakdown
+        cell) from the Fig. 13 sweep without re-evaluating any cell:
+        the counting spy must never see the same cell twice."""
+        import repro.eval.engine as engine_mod
+
+        calls = []
+        real = engine_mod.evaluate_cell
+
+        def counting(design, sparsity_a, sparsity_b, estimator,
+                     m=1024, k=1024, n=1024):
+            calls.append((design.name, sparsity_a, sparsity_b, m, k, n))
+            return real(design, sparsity_a, sparsity_b, estimator,
+                        m, k, n)
+
+        monkeypatch.setattr(engine_mod, "evaluate_cell", counting)
+        estimator = Estimator()
+        # The exact shape of `repro all`'s sweep reuse: fig13, then
+        # fig14 re-running fig13, then fig16 revisiting a grid cell.
+        E.fig13(estimator)
+        E.fig14(E.fig13(estimator))
+        E.fig16(estimator)
+        assert calls, "spy never engaged"
+        assert len(calls) == len(set(calls))
+        expected = len(E.A_DEGREES) * len(E.B_DEGREES) * 5
+        assert len(calls) == expected

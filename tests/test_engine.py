@@ -1,0 +1,125 @@
+"""Tests for the memoizing/parallel sweep engine."""
+
+import pytest
+
+from repro.energy import Estimator
+from repro.errors import EvaluationError
+from repro.eval.engine import (
+    Cell,
+    SweepEngine,
+    grid_cells,
+)
+
+
+@pytest.fixture
+def engine(estimator):
+    return SweepEngine(estimator)
+
+
+SMALL = dict(m=128, k=128, n=128)
+
+
+class TestCellKey:
+    def test_key_is_content_based(self):
+        assert Cell("TC", 0.5, 0.0).key == Cell("TC", 0.5, 0.0).key
+
+    def test_key_absorbs_float_noise(self):
+        assert Cell("TC", 0.5, 0.0).key == Cell(
+            "TC", 0.5 + 1e-12, 0.0
+        ).key
+
+    def test_key_distinguishes_shape(self):
+        assert Cell("TC", 0.5, 0.0, m=256).key != Cell(
+            "TC", 0.5, 0.0
+        ).key
+
+
+class TestMemoization:
+    def test_cache_hit_counting(self, engine):
+        cells = [Cell("TC", 0.0, 0.0, **SMALL),
+                 Cell("HighLight", 0.5, 0.0, **SMALL)]
+        first = engine.evaluate_cells(cells)
+        assert engine.stats.misses == 2
+        assert engine.stats.hits == 0
+        second = engine.evaluate_cells(cells)
+        assert engine.stats.misses == 2
+        assert engine.stats.hits == 2
+        assert first == second
+
+    def test_duplicates_within_one_batch_evaluated_once(self, engine):
+        cell = Cell("TC", 0.0, 0.0, **SMALL)
+        results = engine.evaluate_cells([cell, cell, cell])
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 2
+        assert results[0] == results[1] == results[2]
+
+    def test_unsupported_cells_are_cached_too(self, engine):
+        cell = Cell("S2TA", 0.0, 0.0, **SMALL)  # dense-dense: None
+        assert engine.evaluate_cells([cell]) == [None]
+        assert engine.evaluate_cells([cell]) == [None]
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 1
+
+    def test_shared_engine_per_estimator(self):
+        estimator = Estimator()
+        assert SweepEngine.shared(estimator) is SweepEngine.shared(
+            estimator
+        )
+        assert SweepEngine.shared(estimator) is not SweepEngine.shared(
+            Estimator()
+        )
+
+    def test_shared_without_estimator_is_fresh(self):
+        assert SweepEngine.shared() is not SweepEngine.shared()
+
+
+class TestParallelism:
+    def test_jobs_1_and_4_produce_identical_sweeps(self, estimator):
+        serial = SweepEngine(estimator, jobs=1).sweep(**SMALL)
+        parallel = SweepEngine(estimator, jobs=4).sweep(**SMALL)
+        assert serial.design_order == parallel.design_order
+        assert list(serial.cells) == list(parallel.cells)
+        for cell in serial.cells:
+            assert serial.cells[cell] == parallel.cells[cell]
+
+    def test_deterministic_result_ordering(self, estimator):
+        cells = grid_cells(("TC", "HighLight"), (0.0, 0.5), (0.0,),
+                           **SMALL)
+        a = SweepEngine(estimator, jobs=4).evaluate_cells(cells)
+        b = SweepEngine(estimator, jobs=4).evaluate_cells(cells)
+        assert a == b
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(EvaluationError):
+            SweepEngine(jobs=0)
+
+
+class TestSweep:
+    def test_sweep_defaults_to_main_designs(self, engine):
+        sweep = engine.sweep(a_degrees=(0.0,), b_degrees=(0.0,), **SMALL)
+        assert sweep.design_order == (
+            "TC", "STC", "DSTC", "S2TA", "HighLight",
+        )
+        assert sweep.baseline == "TC"
+
+    def test_sweep_baseline_falls_back_to_first_design(self, engine):
+        sweep = engine.sweep(
+            designs=("HighLight", "DSSO"),
+            a_degrees=(0.5,), b_degrees=(0.5,), **SMALL,
+        )
+        assert sweep.baseline == "HighLight"
+        row = sweep.normalized("edp")[(0.5, 0.5)]
+        assert row["HighLight"] == pytest.approx(1.0)
+
+    def test_sweep_unknown_design_raises(self, engine):
+        with pytest.raises(KeyError, match="NoSuchDesign"):
+            engine.sweep(designs=("NoSuchDesign",), **SMALL)
+
+    def test_grid_cells_order(self):
+        cells = grid_cells(("TC", "STC"), (0.0, 0.5), (0.0,), **SMALL)
+        assert [(c.design, c.sparsity_a) for c in cells] == [
+            ("TC", 0.0), ("STC", 0.0), ("TC", 0.5), ("STC", 0.5),
+        ]
+
+    def test_design_instances_reused(self, engine):
+        assert engine.design("TC") is engine.design("TC")

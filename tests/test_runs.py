@@ -1,0 +1,97 @@
+"""Tests for the JSON run-record layer."""
+
+import json
+
+import pytest
+
+from repro.eval.engine import SweepEngine
+from repro.eval.runs import (
+    SCHEMA_VERSION,
+    load_record,
+    metrics_summary,
+    record_from_sweep,
+)
+
+
+@pytest.fixture
+def engine(estimator):
+    return SweepEngine(estimator)
+
+
+@pytest.fixture
+def sweep(engine):
+    return engine.sweep(
+        designs=("TC", "HighLight"),
+        a_degrees=(0.0, 0.5), b_degrees=(0.0,),
+        m=128, k=128, n=128,
+    )
+
+
+class TestRecordFromSweep:
+    def test_captures_grid_and_cells(self, sweep, engine):
+        record = record_from_sweep("sweep", sweep, engine,
+                                   wall_time_s=1.5)
+        assert record.schema_version == SCHEMA_VERSION
+        assert record.grid["designs"] == ["TC", "HighLight"]
+        assert record.grid["a_degrees"] == [0.0, 0.5]
+        assert record.grid["baseline"] == "TC"
+        assert len(record.cells) == 4
+        assert record.wall_time_s == 1.5
+        assert record.cache["misses"] == 4
+
+    def test_geomeans_present_with_baseline(self, sweep, engine):
+        record = record_from_sweep("sweep", sweep, engine)
+        assert set(record.geomeans) == {
+            "edp", "energy_pj", "cycles", "ed2",
+        }
+        assert record.geomeans["edp"]["TC"] == pytest.approx(1.0)
+
+    def test_cell_metrics_shape(self, sweep, engine):
+        record = record_from_sweep("sweep", sweep, engine)
+        summary = record.cells[0]["metrics"]
+        assert set(summary) == {
+            "cycles", "energy_pj", "edp", "utilization", "supported",
+            "swapped",
+        }
+
+    def test_unsupported_cell_serializes_as_null(self, engine):
+        sweep = engine.sweep(
+            designs=("TC", "S2TA"),
+            a_degrees=(0.0,), b_degrees=(0.0,),
+            m=128, k=128, n=128,
+        )
+        record = record_from_sweep("sweep", sweep, engine)
+        by_design = {c["design"]: c["metrics"] for c in record.cells}
+        assert by_design["S2TA"] is None
+        assert by_design["TC"] is not None
+
+    def test_metrics_summary_none_passthrough(self):
+        assert metrics_summary(None) is None
+
+    def test_shape_recorded_when_given(self, sweep, engine):
+        record = record_from_sweep("sweep", sweep, engine,
+                                   shape=(128, 128, 128))
+        assert record.grid["shape_mkn"] == [128, 128, 128]
+        assert "shape_mkn" not in record_from_sweep(
+            "sweep", sweep, engine
+        ).grid
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, sweep, engine, tmp_path):
+        record = record_from_sweep("sweep", sweep, engine,
+                                   wall_time_s=0.25)
+        path = record.write(tmp_path / "nested" / "run.json")
+        assert path.exists()
+        loaded = load_record(path)
+        assert loaded["command"] == "sweep"
+        assert loaded["wall_time_s"] == 0.25
+        assert loaded["grid"]["designs"] == ["TC", "HighLight"]
+        # The artifact is valid, indented JSON (trend-diffable).
+        assert json.dumps(loaded)
+
+    def test_created_at_stamp(self, sweep, engine):
+        record = record_from_sweep(
+            "sweep", sweep, engine, created_at="2026-07-25T00:00:00",
+        )
+        assert record.created_at == "2026-07-25T00:00:00"

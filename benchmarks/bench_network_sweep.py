@@ -1,0 +1,85 @@
+"""Cold vs warm wall time for a Fig. 15-style full network sweep.
+
+The workload-first engine makes network sweeps cacheable at two
+levels: in-memory (dense layers deduplicate across degrees/designs
+within one run) and on-disk (a persistent cache turns a repeated sweep
+into pure lookups). These benchmarks track both points so the cold/warm
+gap shows up in the bench trajectory alongside the figure benchmarks.
+"""
+
+import shutil
+
+import pytest
+from conftest import emit
+
+from repro.dnn.models import deit_small
+from repro.energy import Estimator
+from repro.eval import experiments as E
+from repro.eval.cache import PersistentCache
+from repro.eval.engine import SweepEngine
+from repro.eval.reporting import render_model_sweep
+
+#: The Fig. 15 grid for one network: every design's default ladder.
+DESIGNS = tuple(E.DESIGN_LADDERS)
+
+
+def _run_sweep(cache_dir=None):
+    estimator = Estimator()
+    engine = SweepEngine(estimator)
+    if cache_dir is not None:
+        engine.attach_cache(
+            PersistentCache.for_estimator(cache_dir, estimator)
+        )
+    sweep = E.sweep_model(deit_small(), designs=DESIGNS, engine=engine)
+    return sweep, engine
+
+
+def test_network_sweep_cold(benchmark, tmp_path):
+    """Empty caches every round: the full evaluation cost."""
+    cache_dir = tmp_path / "cache"
+
+    def setup():
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        return (), {}
+
+    sweep, engine = None, None
+
+    def run():
+        nonlocal sweep, engine
+        sweep, engine = _run_sweep(cache_dir)
+        return sweep
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    emit("Network sweep (cold)", render_model_sweep(sweep))
+
+    assert engine.stats.misses > 0
+    assert engine.stats.disk_hits == 0
+    assert sweep.normalized_edp("HighLight", 0.75) < 1.0
+
+
+def test_network_sweep_warm(benchmark, tmp_path):
+    """A pre-populated persistent cache: zero model evaluations."""
+    cache_dir = tmp_path / "cache"
+    _run_sweep(cache_dir)  # populate
+
+    sweep, engine = None, None
+
+    def run():
+        nonlocal sweep, engine
+        sweep, engine = _run_sweep(cache_dir)
+        return sweep
+
+    benchmark(run)
+    emit(
+        "Network sweep (warm)",
+        f"evaluations={engine.stats.misses}, "
+        f"disk_hits={engine.stats.disk_hits}",
+    )
+
+    assert engine.stats.misses == 0
+    assert engine.stats.disk_hits > 0
+    cold = _run_sweep()[0]
+    warm_edp = sweep.normalized_edp("HighLight", 0.75)
+    assert warm_edp == pytest.approx(
+        cold.normalized_edp("HighLight", 0.75)
+    )

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro artifact <name> [...]   # regenerate paper artifacts
     python -m repro sweep [--designs ...]   # run a custom sparsity grid
+    python -m repro sweep --model NAME      # sweep a DNN across designs
+    python -m repro cache stats|clear       # persistent-cache upkeep
     python -m repro list [--filter k=v]     # registered designs/artifacts
     python -m repro report [--output PATH]  # EXPERIMENTS.md record
 
@@ -13,25 +15,31 @@ all``. Artifacts: ``tables``, ``fig2``, ``fig6``, ``fig13``, ``fig14``,
 ``fig15``, ``fig16``, ``fig17``.
 
 All artifacts of one invocation share a single estimator and one
-memoizing :class:`~repro.eval.engine.SweepEngine`, so ``repro all``
-evaluates each unique (design, workload, sparsity) cell exactly once
-even though Fig. 14 and Fig. 16 revisit the Fig. 13 sweep.
+memoizing :class:`~repro.eval.engine.SweepEngine` whose unit of
+memoization is the (design, workload) pair, so ``repro all`` evaluates
+each unique pair exactly once even though Fig. 14 and Fig. 16 revisit
+the Fig. 13 sweep and the network figures share dense layers. With
+``--cache-dir`` (or ``$REPRO_CACHE_DIR``) the pair cache also persists
+across runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.accelerators import REGISTRY, main_design_names
+from repro.dnn.models import get_model, model_names
 from repro.energy import Estimator
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, WorkloadError
+from repro.eval import cache as cache_mod
 from repro.eval import experiments as E
 from repro.eval import reporting as R
-from repro.eval.engine import SweepEngine
-from repro.eval.runs import record_from_sweep
+from repro.eval.engine import BACKENDS, SweepEngine
+from repro.eval.runs import record_from_model_sweep, record_from_sweep
 
 
 def _run_tables(estimator: Estimator) -> str:
@@ -210,7 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sweep = sub.add_parser(
-        "sweep", help="evaluate a custom design x sparsity grid"
+        "sweep",
+        help="evaluate a custom design x sparsity grid, or a "
+        "registered DNN with --model",
     )
     sweep.add_argument(
         "--designs", type=_parse_names, default=None, metavar="A,B,...",
@@ -218,17 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the five main-evaluation designs)",
     )
     sweep.add_argument(
+        "--model", default=None, metavar="NAME",
+        help="sweep a registered DNN instead of a synthetic grid "
+        f"(one of: {', '.join(model_names())})",
+    )
+    sweep.add_argument(
+        "--degrees", type=_parse_degrees, default=None, metavar="D,D,...",
+        help="(--model only) weight-sparsity degrees for every design "
+        "(default: each design's Fig. 15 ladder)",
+    )
+    sweep.add_argument(
         "--a-degrees", type=_parse_degrees,
-        default=E.A_DEGREES, metavar="D,D,...",
+        default=None, metavar="D,D,...",
         help="operand-A sparsity degrees (default: the Fig. 13 grid)",
     )
     sweep.add_argument(
         "--b-degrees", type=_parse_degrees,
-        default=E.B_DEGREES, metavar="D,D,...",
+        default=None, metavar="D,D,...",
         help="operand-B sparsity degrees (default: the Fig. 13 grid)",
     )
     sweep.add_argument(
-        "--size", type=int, default=1024, metavar="N",
+        "--size", type=int, default=None, metavar="N",
         help="cubic GEMM side M=K=N (default 1024)",
     )
     sweep.add_argument(
@@ -237,11 +257,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
-        help="parallel sweep-cell workers (default 1)",
+        help="parallel evaluation workers (default 1)",
+    )
+    sweep.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="worker backend for --jobs > 1 (default thread; the "
+        "analytical models are pure, so processes are safe)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist (design, workload) evaluations under DIR and "
+        "reuse them across runs (also: $REPRO_CACHE_DIR)",
     )
     sweep.add_argument(
         "--record", default=None, metavar="PATH",
         help="write a JSON run record of this sweep",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent evaluation cache"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "clear"),
+        help="'stats' prints per-fingerprint entry counts; 'clear' "
+        "deletes all cache files",
+    )
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-highlight)",
     )
 
     lister = sub.add_parser(
@@ -274,6 +318,72 @@ def _cmd_artifact(args: argparse.Namespace,
     return 0
 
 
+def _resolve_cache_dir(
+    explicit: Optional[str], fallback_to_default: bool = False
+) -> Optional[str]:
+    """``--cache-dir`` wins, then ``$REPRO_CACHE_DIR``, then (for the
+    ``cache`` subcommand) the default location."""
+    if explicit:
+        return explicit
+    env = os.environ.get(cache_mod.CACHE_DIR_ENV)
+    if env:
+        return env
+    if fallback_to_default:
+        return str(cache_mod.default_cache_dir())
+    return None
+
+
+def _build_engine(args: argparse.Namespace) -> SweepEngine:
+    engine = SweepEngine(jobs=args.jobs, backend=args.backend)
+    cache_dir = _resolve_cache_dir(args.cache_dir)
+    if cache_dir is not None:
+        engine.attach_cache(
+            cache_mod.PersistentCache.for_estimator(
+                cache_dir, engine.estimator
+            )
+        )
+    return engine
+
+
+def _cmd_sweep_model(args: argparse.Namespace,
+                     parser: argparse.ArgumentParser) -> int:
+    try:
+        model = get_model(args.model)
+    except WorkloadError as error:
+        parser.error(str(error))
+    design_names = (
+        tuple(args.designs) if args.designs else main_design_names()
+    )
+    engine = _build_engine(args)
+    start = time.perf_counter()
+    sweep = E.sweep_model(
+        model,
+        designs=design_names,
+        degrees=args.degrees,
+        engine=engine,
+    )
+    wall_time_s = time.perf_counter() - start
+    print(R.render_model_sweep(sweep))
+    stats = engine.stats
+    print(
+        f"\n{len(design_names)} designs on {model.name}, "
+        f"jobs={args.jobs} ({args.backend}): "
+        f"{stats.evaluations} workloads evaluated, "
+        f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
+        f"in {wall_time_s:.2f}s"
+    )
+    if args.record:
+        record = record_from_model_sweep(
+            command="sweep-model",
+            sweep=sweep,
+            engine=engine,
+            wall_time_s=wall_time_s,
+        )
+        path = record.write(args.record)
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace,
                parser: argparse.ArgumentParser) -> int:
     design_names = (
@@ -285,13 +395,34 @@ def _cmd_sweep(args: argparse.Namespace,
                 f"unknown design {name!r}; run 'repro list' for the "
                 f"registered names"
             )
+    if args.model is not None:
+        for flag, value in (
+            ("--a-degrees", args.a_degrees),
+            ("--b-degrees", args.b_degrees),
+            ("--size", args.size),
+        ):
+            if value is not None:
+                parser.error(
+                    f"{flag} applies to synthetic grids; a --model "
+                    f"sweep takes its shapes from the network's layers "
+                    f"(use --degrees for the weight-sparsity ladder)"
+                )
+        return _cmd_sweep_model(args, parser)
+    if args.degrees is not None:
+        parser.error(
+            "--degrees applies to --model sweeps; use --a-degrees/"
+            "--b-degrees for synthetic grids"
+        )
+    a_degrees = args.a_degrees if args.a_degrees is not None else E.A_DEGREES
+    b_degrees = args.b_degrees if args.b_degrees is not None else E.B_DEGREES
+    size = args.size if args.size is not None else 1024
+    engine = _build_engine(args)
     start = time.perf_counter()
-    engine = SweepEngine(jobs=args.jobs)
     sweep = engine.sweep(
         designs=design_names,
-        a_degrees=args.a_degrees,
-        b_degrees=args.b_degrees,
-        m=args.size, k=args.size, n=args.size,
+        a_degrees=a_degrees,
+        b_degrees=b_degrees,
+        m=size, k=size, n=size,
     )
     wall_time_s = time.perf_counter() - start
     try:
@@ -305,10 +436,13 @@ def _cmd_sweep(args: argparse.Namespace,
             f"baseline ({sweep.baseline}) supports."
         )
     print(rendered)
+    stats = engine.stats
     print(
-        f"\n{len(design_names)} designs x {len(args.a_degrees)}x"
-        f"{len(args.b_degrees)} degree grid @ {args.size}^3, "
-        f"jobs={args.jobs}: {engine.stats.misses} cells evaluated "
+        f"\n{len(design_names)} designs x {len(a_degrees)}x"
+        f"{len(b_degrees)} degree grid @ {size}^3, "
+        f"jobs={args.jobs} ({args.backend}): "
+        f"{stats.evaluations} workloads evaluated, "
+        f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
         f"in {wall_time_s:.2f}s"
     )
     if args.record:
@@ -317,10 +451,32 @@ def _cmd_sweep(args: argparse.Namespace,
             sweep=sweep,
             engine=engine,
             wall_time_s=wall_time_s,
-            shape=(args.size, args.size, args.size),
+            shape=(size, size, size),
         )
         path = record.write(args.record)
         print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    directory = _resolve_cache_dir(
+        args.cache_dir, fallback_to_default=True
+    )
+    if args.action == "clear":
+        removed = cache_mod.clear_cache(directory)
+        print(f"removed {removed} cache file(s) from {directory}")
+        return 0
+    stats = cache_mod.cache_stats(directory)
+    print(f"cache directory: {stats['directory']}")
+    if not stats["files"]:
+        print("  (empty)")
+        return 0
+    rows = [
+        [f["file"], str(f["entries"]), str(f["bytes"])]
+        for f in stats["files"]
+    ]
+    print(R.format_table(["file", "entries", "bytes"], rows))
+    print(f"total entries: {stats['total_entries']}")
     return 0
 
 
@@ -354,6 +510,7 @@ def _cmd_list(args: argparse.Namespace,
         ["name", "category", "sparsity side", "metadata"], rows
     ))
     print(f"\nArtifacts: {' '.join(ORDER)} (plus 'all')")
+    print(f"Models (sweep --model): {' '.join(model_names())}")
     return 0
 
 
@@ -375,6 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_artifact(args, parser)
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "list":
         return _cmd_list(args, parser)
     return _cmd_report(args)

@@ -12,6 +12,8 @@ from repro.dnn.models import (
     DnnModel,
     deit_small,
     efficientnet_b0,
+    get_model,
+    model_names,
     resnet50,
     transformer_big,
     all_models,
@@ -34,6 +36,8 @@ __all__ = [
     "efficientnet_b0",
     "transformer_big",
     "all_models",
+    "get_model",
+    "model_names",
     "SimulatedConvLayer",
     "SimulatedNetwork",
     "random_network",

@@ -19,9 +19,10 @@ activations, the GELU/softmax transformers are nearly dense (<10%).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.dnn.layers import ConvLayer, Layer, LinearLayer
+from repro.errors import WorkloadError
 
 
 @dataclass(frozen=True)
@@ -234,3 +235,29 @@ def efficientnet_b0() -> DnnModel:
 def all_models() -> Tuple[DnnModel, ...]:
     """The three evaluated networks, in paper order."""
     return (resnet50(), deit_small(), transformer_big())
+
+
+#: Registered networks, addressable by name from the CLI and the
+#: network-sweep experiments (paper trio first, extensions after).
+MODEL_BUILDERS: Dict[str, Callable[[], DnnModel]] = {
+    "ResNet50": resnet50,
+    "DeiT-small": deit_small,
+    "Transformer-Big": transformer_big,
+    "EfficientNet-B0": efficientnet_b0,
+}
+
+
+def model_names() -> Tuple[str, ...]:
+    """All registered network names, registration order."""
+    return tuple(MODEL_BUILDERS)
+
+
+def get_model(name: str) -> DnnModel:
+    """Build a registered network by name (case-insensitive)."""
+    for registered, builder in MODEL_BUILDERS.items():
+        if registered.lower() == name.lower():
+            return builder()
+    raise WorkloadError(
+        f"unknown model {name!r}; registered: "
+        f"{', '.join(MODEL_BUILDERS)}"
+    )

@@ -13,19 +13,31 @@ invocations as JSON run records.
 """
 
 from repro.eval.harness import (
+    best_metrics,
     evaluate_cell,
+    evaluate_workload,
     realize_workloads,
     workload_for_layer,
 )
+from repro.eval.cache import PersistentCache, estimator_fingerprint
 from repro.eval.engine import Cell, SweepEngine, SweepResult, grid_cells
 from repro.eval.pareto import pareto_frontier, is_on_frontier
-from repro.eval.runs import RunRecord, load_record, record_from_sweep
+from repro.eval.runs import (
+    RunRecord,
+    load_record,
+    record_from_model_sweep,
+    record_from_sweep,
+)
 from repro.eval import experiments, reporting
 
 __all__ = [
+    "best_metrics",
     "evaluate_cell",
+    "evaluate_workload",
     "realize_workloads",
     "workload_for_layer",
+    "PersistentCache",
+    "estimator_fingerprint",
     "Cell",
     "SweepEngine",
     "SweepResult",
@@ -34,6 +46,7 @@ __all__ = [
     "is_on_frontier",
     "RunRecord",
     "load_record",
+    "record_from_model_sweep",
     "record_from_sweep",
     "experiments",
     "reporting",

@@ -1,0 +1,286 @@
+"""Persistent on-disk memoization of (design, workload) evaluations.
+
+The analytical cost models are pure functions of (design, workload,
+technology table), so their results can be reused across *processes and
+runs*, not just within one engine. A :class:`PersistentCache` stores
+one JSON file per estimator fingerprint under a cache directory::
+
+    <cache_dir>/<fingerprint>.json
+
+Keys are SHA-256 digests of the canonical (design name, workload key)
+content tuple; values are serialized :class:`~repro.model.metrics
+.Metrics` (or ``null`` for unsupported pairs — negative results are
+worth caching too). The fingerprint covers the energy/area table, the
+plug-in stack, and a model-version constant, so any change to the cost
+models invalidates old entries automatically by landing in a new file.
+
+Flushes are read-merge-write with an atomic rename, so concurrent
+writers (e.g. two CI shards sharing a cache volume) can only lose each
+other's *new* entries, never corrupt the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.energy.estimator import Estimator
+from repro.model.metrics import Metrics
+from repro.model.workload import WorkloadKey
+from repro.serialization import metrics_from_dict, metrics_to_dict
+
+#: Bumped whenever the analytical cost models change in a way that
+#: invalidates previously cached metrics.
+MODEL_FINGERPRINT_VERSION = 1
+
+#: Cache file schema version.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Sentinel distinguishing "no cached entry" from a cached ``None``
+#: (an unsupported pair).
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-highlight``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-highlight"
+
+
+def _plugin_signature(plugin: object) -> Any:
+    """A plugin's contribution to the fingerprint: its class plus any
+    dataclass configuration it carries (the default plug-ins hold the
+    :class:`EnergyAreaTable` they were built from as ``_table``, which
+    may differ from the estimator's own table). Custom plug-ins with
+    non-dataclass state should subclass with a distinct class name or
+    bump :data:`MODEL_FINGERPRINT_VERSION`."""
+    signature: Dict[str, Any] = {"class": type(plugin).__name__}
+    for name, value in sorted(vars(plugin).items()):
+        if dataclasses.is_dataclass(value):
+            signature[name] = dataclasses.asdict(value)
+        elif isinstance(value, (str, int, float, bool, type(None))):
+            signature[name] = value
+    return signature
+
+
+def estimator_fingerprint(estimator: Estimator) -> str:
+    """A stable hex digest of everything that determines an
+    estimator's numbers: the technology table, the plug-in stack
+    (classes plus their configuration), and the library's cost-model
+    version."""
+    table = dataclasses.asdict(estimator.table)
+    payload = {
+        "model_version": MODEL_FINGERPRINT_VERSION,
+        "table": {key: table[key] for key in sorted(table)},
+        "plugins": [
+            _plugin_signature(p) for p in estimator._plugins
+        ],
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+def pair_digest(design: str, workload_key: WorkloadKey) -> str:
+    """The storage key for one (design, workload) pair.
+
+    Workload keys are nested tuples of strings/ints/floats whose
+    ``repr`` is deterministic across processes and Python versions.
+    """
+    return hashlib.sha256(
+        repr((design, workload_key)).encode()
+    ).hexdigest()
+
+
+class PersistentCache:
+    """A dict-like store of evaluated pairs, backed by one JSON file.
+
+    Entries live in memory after :meth:`load`; :meth:`flush` merges new
+    entries with whatever is on disk and writes atomically. ``None``
+    values are first-class (cached "unsupported" verdicts). All
+    operations are guarded by an internal lock, so an engine can
+    perform lookups while another thread flushes.
+    """
+
+    def __init__(self, directory: "str | Path", fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.path = self.directory / f"{fingerprint}.json"
+        self._entries: Dict[str, Optional[Metrics]] = {}
+        self._dirty: Dict[str, Optional[Metrics]] = {}
+        self._lock = threading.Lock()
+        #: (st_mtime_ns, st_size) of the file as last read/written by
+        #: this instance — lets flush skip the read-merge step when no
+        #: other writer has touched the file in between.
+        self._disk_state: Optional[Tuple[int, int]] = None
+        self._load()
+
+    @classmethod
+    def for_estimator(
+        cls, directory: "str | Path", estimator: Estimator
+    ) -> "PersistentCache":
+        return cls(directory, estimator_fingerprint(estimator))
+
+    def _stat(self) -> Optional[Tuple[int, int]]:
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    @staticmethod
+    def _read_entries(path: Path) -> Dict[str, Optional[Metrics]]:
+        """Deserialize a cache file; any corruption — torn writes,
+        invalid JSON, malformed entries — yields an empty dict rather
+        than an exception (the cache is a best-effort accelerator)."""
+        try:
+            data = json.loads(path.read_text())
+            if data.get("schema_version") != CACHE_SCHEMA_VERSION:
+                return {}
+            return {
+                digest: (
+                    None if entry is None else metrics_from_dict(entry)
+                )
+                for digest, entry in data.get("entries", {}).items()
+            }
+        except Exception:
+            return {}
+
+    def _load(self) -> None:
+        self._disk_state = self._stat()
+        if self._disk_state is None:
+            return
+        self._entries.update(self._read_entries(self.path))
+
+    def get(self, design: str, workload_key: WorkloadKey) -> Any:
+        """The cached metrics (possibly ``None``), or :data:`MISS`."""
+        with self._lock:
+            return self._entries.get(
+                pair_digest(design, workload_key), MISS
+            )
+
+    def put(
+        self,
+        design: str,
+        workload_key: WorkloadKey,
+        metrics: Optional[Metrics],
+    ) -> None:
+        digest = pair_digest(design, workload_key)
+        with self._lock:
+            self._entries[digest] = metrics
+            self._dirty[digest] = metrics
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def flush(self) -> None:
+        """Merge new entries into the on-disk file (atomic rename).
+
+        The read-merge step only happens when another writer changed
+        the file since this instance last touched it; the common
+        single-writer case serializes straight from memory.
+        """
+        with self._lock:
+            if not self._dirty:
+                return
+            self.directory.mkdir(parents=True, exist_ok=True)
+            entries = dict(self._entries)
+            if self._stat() != self._disk_state:
+                # Foreign writes landed: merge them under ours.
+                for digest, entry in self._read_entries(
+                    self.path
+                ).items():
+                    entries.setdefault(digest, entry)
+            payload = {
+                "schema_version": CACHE_SCHEMA_VERSION,
+                "fingerprint": self.fingerprint,
+                "entries": {
+                    digest: (
+                        None if metrics is None
+                        else metrics_to_dict(metrics)
+                    )
+                    for digest, metrics in entries.items()
+                },
+            }
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".cache-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, self.path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            self._entries = entries
+            self._dirty.clear()
+            self._disk_state = self._stat()
+
+
+#: Cache files are named <16-hex-digit fingerprint>.json — the strict
+#: pattern keeps ``cache clear``/``stats`` away from unrelated JSON
+#: (run records, benchmark output) a user may keep in the same
+#: directory.
+_CACHE_FILE_RE = re.compile(r"^[0-9a-f]{16}\.json$")
+
+
+def cache_files(directory: "str | Path") -> Tuple[Path, ...]:
+    """All cache files under a directory (one per fingerprint)."""
+    root = Path(directory)
+    if not root.is_dir():
+        return ()
+    return tuple(
+        sorted(
+            path for path in root.glob("*.json")
+            if _CACHE_FILE_RE.match(path.name)
+        )
+    )
+
+
+def cache_stats(directory: "str | Path") -> Dict[str, Any]:
+    """Aggregate statistics for ``repro cache stats``."""
+    files = cache_files(directory)
+    per_file = []
+    total_entries = 0
+    for path in files:
+        try:
+            data = json.loads(path.read_text())
+            entries = len(data.get("entries", {}))
+        except (OSError, json.JSONDecodeError):
+            entries = 0
+        total_entries += entries
+        per_file.append(
+            {
+                "file": path.name,
+                "entries": entries,
+                "bytes": path.stat().st_size,
+            }
+        )
+    return {
+        "directory": str(directory),
+        "files": per_file,
+        "total_entries": total_entries,
+    }
+
+
+def clear_cache(directory: "str | Path") -> int:
+    """Delete all cache files under ``directory``; returns the count."""
+    files = cache_files(directory)
+    for path in files:
+        path.unlink()
+    return len(files)

@@ -1,21 +1,31 @@
-"""The batched sweep engine: declarative grids, memoized cells,
-optional parallel execution.
+"""The batched sweep engine: declarative work, memoized workloads,
+optional parallel execution, optional persistent caching.
 
-Experiments declare *what* to evaluate — a grid of
-(design, sparsity_A, sparsity_B, shape) :class:`Cell`\\ s — and the
-:class:`SweepEngine` decides *how*: it deduplicates cells, serves
-repeats from a cache keyed on the cell's content, evaluates the
-remainder (in parallel when ``jobs > 1``) and returns results in the
-requested order. Engines are shared per estimator (see
-:meth:`SweepEngine.shared`), so ``repro all`` — where Fig. 14 re-reads
-the Fig. 13 sweep and Fig. 16 revisits one of its cells — evaluates
-every unique cell exactly once.
+Experiments declare *what* to evaluate and the :class:`SweepEngine`
+decides *how*. The unit of memoization is a **(design, workload) pair**
+keyed by the workload's canonical content key
+(:meth:`~repro.model.workload.MatmulWorkload.key`): the synthetic
+Fig. 13/14/16 degree grids, the Fig. 2/15 network sweeps, and arbitrary
+user workloads all deduplicate against one cache. A degree-grid
+:class:`Cell` is a thin adapter on top — the engine realizes each cell
+into its candidate workloads (Sec. 7.1 rules) and picks the best, so
+repeated shapes deduplicate *across* cells, degrees, and labels (every
+dense layer of a network sweep is evaluated once, not once per
+weight-sparsity point).
+
+Engines are shared per estimator (see :meth:`SweepEngine.shared`), the
+in-memory cache is thread-safe with exactly-once evaluation even under
+concurrent batches, and a :class:`~repro.eval.cache.PersistentCache`
+extends memoization across runs. Workers can be threads (default) or
+processes (``backend="process"`` — the cost models are pure and
+pickleable).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.accelerators import REGISTRY, main_design_names
@@ -23,21 +33,37 @@ from repro.accelerators.base import AcceleratorDesign
 from repro.accelerators.registry import DesignRegistry
 from repro.energy.estimator import Estimator
 from repro.errors import EvaluationError
-from repro.eval.harness import evaluate_cell
+from repro.eval import cache as cache_mod
+from repro.eval.harness import (
+    best_metrics,
+    evaluate_workload,
+    realize_workloads,
+)
 from repro.model.metrics import Metrics
+from repro.model.workload import MatmulWorkload, WorkloadKey
 from repro.utils import geomean
 
 #: The paper's synthetic Fig. 13 sparsity grid.
 DEFAULT_A_DEGREES: Tuple[float, ...] = (0.0, 0.5, 0.75)
 DEFAULT_B_DEGREES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
 
-#: (design, round(a), round(b), m, k, n) — the memoization key.
-CellKey = Tuple[str, float, float, int, int, int]
+#: (design name, workload content key) — the memoization key.
+PairKey = Tuple[str, WorkloadKey]
+
+#: One unit of engine work: a design name on one concrete workload.
+Pair = Tuple[str, MatmulWorkload]
+
+#: Supported worker backends.
+BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
 class Cell:
-    """One unit of sweep work: a design name on one workload point."""
+    """One degree-grid sweep point: a design name on one
+    (sparsity_A, sparsity_B, shape) workload point. Memoization happens
+    at the realized-workload level (degree noise is absorbed by
+    :func:`~repro.model.workload.quantize_degree` inside the workload
+    keys), so cells carry no cache key of their own."""
 
     design: str
     sparsity_a: float
@@ -46,35 +72,43 @@ class Cell:
     k: int = 1024
     n: int = 1024
 
-    @property
-    def key(self) -> CellKey:
-        """Content key (degrees rounded so 0.5 and 0.5000000001 — float
-        noise from grid arithmetic — share a cache entry)."""
-        return (
-            self.design,
-            round(self.sparsity_a, 9),
-            round(self.sparsity_b, 9),
-            self.m,
-            self.k,
-            self.n,
+    def realize(self) -> List[MatmulWorkload]:
+        """The cell's candidate workload realizations (Sec. 7.1)."""
+        return realize_workloads(
+            self.design, self.sparsity_a, self.sparsity_b,
+            self.m, self.k, self.n,
         )
 
 
 @dataclass
 class EngineStats:
-    """Cache behavior counters, cumulative over an engine's lifetime."""
+    """Cache behavior counters, cumulative over an engine's lifetime.
+
+    One *request* is one (design, workload) evaluation ask. ``hits``
+    are served from the in-memory cache (including duplicates within a
+    batch), ``disk_hits`` from the persistent cache, and ``misses``
+    cost one actual model evaluation each.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def requests(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def evaluations(self) -> int:
+        """Actual cost-model evaluations performed (= misses)."""
+        return self.misses
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "evaluations": self.evaluations,
             "requests": self.requests,
         }
 
@@ -166,13 +200,44 @@ def grid_cells(
     ]
 
 
-class SweepEngine:
-    """Memoizing, optionally parallel executor for sweep cells.
+# --- process-backend worker side ---------------------------------------
+#
+# Workers receive (design name, workload) pairs; designs are
+# instantiated per process from the global registry. The estimator is
+# *rebuilt* in each worker from its table + plug-ins (plain, picklable
+# data) rather than pickled whole — a used estimator carries the shared
+# engine (locks, events) as an attribute, which spawn-based platforms
+# cannot pickle.
 
-    One engine owns one :class:`Estimator` (so every cell is costed
-    from identical technology assumptions) and one cell cache. Results
-    are deterministic and independent of ``jobs``: cells are evaluated
-    by pure analytical models and returned in request order.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(table, plugins) -> None:
+    _WORKER_STATE["estimator"] = Estimator(table=table, plugins=plugins)
+    _WORKER_STATE["designs"] = {}
+
+
+def _evaluate_pair_in_worker(pair: Pair) -> Optional[Metrics]:
+    design_name, workload = pair
+    designs: Dict[str, AcceleratorDesign] = _WORKER_STATE["designs"]
+    if design_name not in designs:
+        designs[design_name] = REGISTRY.create(design_name)
+    return evaluate_workload(
+        designs[design_name], workload, _WORKER_STATE["estimator"]
+    )
+
+
+class SweepEngine:
+    """Memoizing, optionally parallel executor for (design, workload)
+    pairs.
+
+    One engine owns one :class:`Estimator` (so every workload is costed
+    from identical technology assumptions), one in-memory pair cache,
+    and optionally one persistent on-disk cache. Results are
+    deterministic and independent of ``jobs``/``backend``: pairs are
+    evaluated by pure analytical models and returned in request order.
+    All shared state is lock-guarded; a pair requested by several
+    threads concurrently is still evaluated exactly once.
     """
 
     #: Attribute under which the shared engine rides on its estimator,
@@ -184,15 +249,32 @@ class SweepEngine:
         estimator: Optional[Estimator] = None,
         jobs: int = 1,
         registry: Optional[DesignRegistry] = None,
+        backend: str = "thread",
+        cache: Optional[cache_mod.PersistentCache] = None,
     ) -> None:
         if jobs < 1:
             raise EvaluationError(f"jobs must be >= 1, got {jobs}")
+        if backend not in BACKENDS:
+            raise EvaluationError(
+                f"unknown backend {backend!r}; supported: "
+                f"{', '.join(BACKENDS)}"
+            )
         self.estimator = estimator if estimator is not None else Estimator()
         self.jobs = jobs
         self.registry = registry if registry is not None else REGISTRY
+        if backend == "process" and self.registry is not REGISTRY:
+            raise EvaluationError(
+                "the process backend reconstructs designs from the "
+                "global registry; custom registries need backend='thread'"
+            )
+        self.backend = backend
+        self.persistent = cache
         self.stats = EngineStats()
-        self._cache: Dict[CellKey, Optional[Metrics]] = {}
+        self._cache: Dict[PairKey, Optional[Metrics]] = {}
+        self._inflight: Dict[PairKey, threading.Event] = {}
+        self._lock = threading.Lock()
         self._instances: Dict[str, AcceleratorDesign] = {}
+        self._process_pool: Optional[ProcessPoolExecutor] = None
 
     @classmethod
     def shared(cls, estimator: Optional[Estimator] = None) -> "SweepEngine":
@@ -209,46 +291,149 @@ class SweepEngine:
             setattr(estimator, cls._SHARED_ATTR, engine)
         return engine
 
+    def attach_cache(self, cache: cache_mod.PersistentCache) -> None:
+        """Back this engine with a persistent on-disk cache."""
+        self.persistent = cache
+
     def design(self, name: str) -> AcceleratorDesign:
         """The engine's instance of a registered design (one per name;
         designs are stateless so instances are safely reused)."""
-        if name not in self._instances:
-            self._instances[name] = self.registry.create(name)
-        return self._instances[name]
+        with self._lock:
+            if name not in self._instances:
+                self._instances[name] = self.registry.create(name)
+            return self._instances[name]
 
-    def _evaluate(self, cell: Cell) -> Optional[Metrics]:
-        return evaluate_cell(
-            self.design(cell.design),
-            cell.sparsity_a,
-            cell.sparsity_b,
-            self.estimator,
-            cell.m,
-            cell.k,
-            cell.n,
+    def _evaluate_pair(self, pair: Pair) -> Optional[Metrics]:
+        design_name, workload = pair
+        return evaluate_workload(
+            self.design(design_name), workload, self.estimator
         )
+
+    def _worker_pool(self) -> ProcessPoolExecutor:
+        """The engine's lazily created process pool, reused across
+        batches so worker spawn + estimator transfer are paid once."""
+        if self._process_pool is None:
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(self.estimator.table, self.estimator._plugins),
+            )
+        return self._process_pool
+
+    def close(self) -> None:
+        """Release the process pool (no-op for thread/serial engines;
+        safe to call repeatedly)."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown()
+            self._process_pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter exit
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _run_batch(self, pending: List[Pair]) -> List[Optional[Metrics]]:
+        if self.jobs > 1 and len(pending) > 1:
+            if self.backend == "process":
+                return list(
+                    self._worker_pool().map(
+                        _evaluate_pair_in_worker, pending
+                    )
+                )
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(self._evaluate_pair, pending))
+        return [self._evaluate_pair(pair) for pair in pending]
+
+    def evaluate_workloads(
+        self, pairs: Sequence[Pair]
+    ) -> List[Optional[Metrics]]:
+        """Metrics for each (design name, workload) pair, in order.
+
+        Repeats — within the batch, across batches, across concurrent
+        callers, and (with a persistent cache) across runs — are served
+        from cache; each unique pair is evaluated exactly once.
+        """
+        keys: List[PairKey] = [
+            (design, workload.key()) for design, workload in pairs
+        ]
+        own: Dict[PairKey, Pair] = {}
+        waits: Dict[PairKey, threading.Event] = {}
+        with self._lock:
+            for key, pair in zip(keys, pairs):
+                if key in own or key in self._cache:
+                    self.stats.hits += 1
+                elif key in self._inflight:
+                    waits[key] = self._inflight[key]
+                    self.stats.hits += 1
+                else:
+                    cached = (
+                        self.persistent.get(key[0], key[1])
+                        if self.persistent is not None
+                        else cache_mod.MISS
+                    )
+                    if cached is not cache_mod.MISS:
+                        self._cache[key] = cached
+                        self.stats.disk_hits += 1
+                    else:
+                        # Strip the display label before evaluation so
+                        # the cached Metrics (whose `workload` string
+                        # comes from describe()) are content-derived,
+                        # not named after whichever caller asked first.
+                        design, workload = pair
+                        own[key] = (design, replace(workload, name=""))
+                        self._inflight[key] = threading.Event()
+                        self.stats.misses += 1
+        if own:
+            try:
+                results = self._run_batch(list(own.values()))
+            except BaseException:
+                with self._lock:
+                    for key in own:
+                        self._inflight.pop(key).set()
+                raise
+            with self._lock:
+                for key, metrics in zip(own, results):
+                    self._cache[key] = metrics
+                    if self.persistent is not None:
+                        self.persistent.put(key[0], key[1], metrics)
+                    self._inflight.pop(key).set()
+            # Disk I/O stays outside the engine lock (the cache has its
+            # own); other threads keep hitting the in-memory cache
+            # while the merged file is rewritten.
+            if self.persistent is not None:
+                self.persistent.flush()
+        for event in waits.values():
+            event.wait()
+        with self._lock:
+            try:
+                return [self._cache[key] for key in keys]
+            except KeyError:
+                raise EvaluationError(
+                    "a concurrent evaluation of a shared workload failed"
+                )
 
     def evaluate_cells(
         self, cells: Sequence[Cell]
     ) -> List[Optional[Metrics]]:
-        """Metrics for each cell, in order; repeats and previously seen
-        cells come from the cache."""
-        pending: Dict[CellKey, Cell] = {}
+        """Best-candidate metrics for each degree-grid cell, in order.
+
+        Each cell is realized into its per-design candidate workloads
+        (both orientations where the Sec. 7.1 rules allow a swap) and
+        every candidate is routed through the workload-level cache, so
+        equal realizations are shared across cells and designs.
+        """
+        pairs: List[Pair] = []
+        spans: List[int] = []
         for cell in cells:
-            key = cell.key
-            if key not in self._cache and key not in pending:
-                pending[key] = cell
-        self.stats.misses += len(pending)
-        self.stats.hits += len(cells) - len(pending)
-        if pending:
-            todo = list(pending.values())
-            if self.jobs > 1:
-                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    results = list(pool.map(self._evaluate, todo))
-            else:
-                results = [self._evaluate(cell) for cell in todo]
-            for key, metrics in zip(pending, results):
-                self._cache[key] = metrics
-        return [self._cache[cell.key] for cell in cells]
+            candidates = cell.realize()
+            spans.append(len(candidates))
+            pairs.extend((cell.design, wl) for wl in candidates)
+        flat = iter(self.evaluate_workloads(pairs))
+        return [
+            best_metrics([next(flat) for _ in range(span)])
+            for span in spans
+        ]
 
     def sweep(
         self,

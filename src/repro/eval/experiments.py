@@ -21,10 +21,11 @@ from repro.eval.engine import (
     DEFAULT_A_DEGREES,
     DEFAULT_B_DEGREES,
     Cell,
+    Pair,
     SweepEngine,
     SweepResult,
 )
-from repro.eval.harness import workload_for_layer
+from repro.eval.harness import best_metrics, workload_for_layer
 from repro.eval.pareto import Point, is_on_frontier, pareto_frontier
 from repro.model.metrics import Metrics
 from repro.model.workload import (
@@ -124,50 +125,84 @@ class ModelEvaluation:
         return self.total_energy_pj * self.total_cycles
 
 
-def evaluate_model(
-    design: AcceleratorDesign,
-    model: DnnModel,
-    weight_sparsity: float,
-    estimator: Estimator,
-) -> Optional[ModelEvaluation]:
-    """Evaluate every GEMM layer of a network on one design.
+def _model_pairs(
+    design_name: str, model: DnnModel, weight_sparsity: float
+) -> Tuple[List[Pair], List[Tuple[object, int]]]:
+    """Realize every layer of ``model`` into its candidate workloads.
 
-    Prunable layers carry the requested weight sparsity; other layers
-    stay dense. Returns ``None`` when any layer has no supported
-    realization (e.g. S2TA facing a purely dense layer — Sec. 7.3).
+    Returns the flat (design, workload) pair list for the engine plus
+    per-layer spans for reassembly. Prunable layers carry the requested
+    weight sparsity; other layers stay dense — which is why dense
+    layers deduplicate across every degree of a sweep.
     """
-    per_layer: Dict[str, Metrics] = {}
-    total_energy = 0.0
-    total_cycles = 0.0
+    pairs: List[Pair] = []
+    spans: List[Tuple[object, int]] = []
     for layer in model.layers:
         layer_sparsity = (
             weight_sparsity if layer.name in model.prunable else 0.0
         )
         candidates = workload_for_layer(
-            design.name,
+            design_name,
             layer.gemm_shape(),
             layer_sparsity,
             model.activation_sparsity,
         )
-        best: Optional[Metrics] = None
-        for workload in candidates:
-            if not design.supports(workload):
-                continue
-            metrics = design.evaluate(workload, estimator)
-            if best is None or metrics.edp < best.edp:
-                best = metrics
+        spans.append((layer, len(candidates)))
+        pairs.extend((design_name, workload) for workload in candidates)
+    return pairs, spans
+
+
+def _assemble_model_evaluation(
+    design_name: str,
+    model: DnnModel,
+    weight_sparsity: float,
+    spans: Sequence[Tuple[object, int]],
+    results: Sequence[Optional[Metrics]],
+) -> Optional[ModelEvaluation]:
+    """Fold per-candidate metrics back into a network total (best
+    candidate per layer; ``None`` when any layer is unsupported)."""
+    per_layer: Dict[str, Metrics] = {}
+    total_energy = 0.0
+    total_cycles = 0.0
+    flat = iter(results)
+    for layer, span in spans:
+        best = best_metrics([next(flat) for _ in range(span)])
         if best is None:
             return None
         per_layer[layer.name] = best
         total_energy += best.energy_pj * layer.gemm_instances
         total_cycles += best.cycles * layer.gemm_instances
     return ModelEvaluation(
-        design=design.name,
+        design=design_name,
         model=model.name,
         weight_sparsity=weight_sparsity,
         per_layer=per_layer,
         total_energy_pj=total_energy,
         total_cycles=total_cycles,
+    )
+
+
+def evaluate_model(
+    design: AcceleratorDesign,
+    model: DnnModel,
+    weight_sparsity: float,
+    estimator: Optional[Estimator] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Optional[ModelEvaluation]:
+    """Evaluate every GEMM layer of a network on one design.
+
+    All candidate realizations are routed through the (shared)
+    :class:`SweepEngine`, so repeated layer shapes — within this call,
+    across degrees, and across experiments on the same estimator — are
+    evaluated exactly once. Returns ``None`` when any layer has no
+    supported realization (e.g. S2TA facing a purely dense layer —
+    Sec. 7.3).
+    """
+    engine = engine or SweepEngine.shared(estimator)
+    pairs, spans = _model_pairs(design.name, model, weight_sparsity)
+    results = engine.evaluate_workloads(pairs)
+    return _assemble_model_evaluation(
+        design.name, model, weight_sparsity, spans, results
     )
 
 
@@ -194,6 +229,102 @@ DESIGN_ACTIVATION_LOSS_PCT: Dict[str, float] = {
     "DSTC": 0.0,
     "HighLight": 0.0,
 }
+
+
+def design_ladder(design_name: str) -> Tuple[float, ...]:
+    """The default weight-sparsity ladder for a design in a network
+    sweep. Designs without a Fig. 15 ladder entry (e.g. DSSO) use
+    HighLight's HSS ladder — they realize degrees the same way."""
+    ladder, _ = DESIGN_LADDERS.get(
+        design_name, DESIGN_LADDERS["HighLight"]
+    )
+    return ladder
+
+
+@dataclass(frozen=True)
+class ModelSweepResult:
+    """One network swept over designs x weight-sparsity degrees."""
+
+    model: str
+    design_order: Tuple[str, ...]
+    #: design -> the degrees it was evaluated at.
+    degrees: Dict[str, Tuple[float, ...]]
+    #: (design, degree) -> evaluation (``None`` when unsupported).
+    evaluations: Dict[Tuple[str, float], Optional[ModelEvaluation]]
+    #: The normalization point, when the sweep includes dense TC.
+    baseline: Optional[Tuple[str, float]] = None
+
+    def rows(self) -> List[Tuple[str, float, Optional[ModelEvaluation]]]:
+        """(design, degree, evaluation) in sweep order."""
+        return [
+            (design, degree, self.evaluations[(design, degree)])
+            for design in self.design_order
+            for degree in self.degrees[design]
+        ]
+
+    def normalized_edp(
+        self, design: str, degree: float
+    ) -> Optional[float]:
+        """Network EDP over the baseline's, or ``None``."""
+        if self.baseline is None:
+            return None
+        evaluation = self.evaluations[(design, degree)]
+        base = self.evaluations[self.baseline]
+        if evaluation is None or base is None:
+            return None
+        return evaluation.edp / base.edp
+
+
+def sweep_model(
+    model: DnnModel,
+    designs: Optional[Sequence[str]] = None,
+    degrees: Optional[Sequence[float]] = None,
+    estimator: Optional[Estimator] = None,
+    engine: Optional[SweepEngine] = None,
+) -> ModelSweepResult:
+    """Sweep one network over designs x weight-sparsity degrees.
+
+    This is the Fig. 15-per-model workhorse generalized to arbitrary
+    grids: every layer of every (design, degree) point is realized
+    into candidate workloads and the whole sweep is submitted to the
+    engine as **one batch**, so parallelism spans the entire network
+    sweep and dense layers (identical at every degree) are evaluated
+    once. ``degrees`` overrides every design's default ladder.
+    """
+    engine = engine or SweepEngine.shared(estimator)
+    design_order = tuple(designs) if designs else main_design_names()
+    per_design: Dict[str, Tuple[float, ...]] = {
+        name: tuple(degrees) if degrees is not None else design_ladder(name)
+        for name in design_order
+    }
+    baseline: Optional[Tuple[str, float]] = None
+    if "TC" in design_order:
+        # Dense TC anchors normalization; TC ignores weight sparsity,
+        # so any of its degrees is the dense baseline.
+        baseline = ("TC", per_design["TC"][0])
+    items: List[Tuple[str, float, List[Tuple[object, int]], int]] = []
+    all_pairs: List[Pair] = []
+    for design_name in design_order:
+        for degree in per_design[design_name]:
+            pairs, spans = _model_pairs(design_name, model, degree)
+            items.append((design_name, degree, spans, len(pairs)))
+            all_pairs.extend(pairs)
+    results = engine.evaluate_workloads(all_pairs)
+    evaluations: Dict[Tuple[str, float], Optional[ModelEvaluation]] = {}
+    offset = 0
+    for design_name, degree, spans, count in items:
+        evaluations[(design_name, degree)] = _assemble_model_evaluation(
+            design_name, model, degree, spans,
+            results[offset:offset + count],
+        )
+        offset += count
+    return ModelSweepResult(
+        model=model.name,
+        design_order=design_order,
+        degrees=per_design,
+        evaluations=evaluations,
+        baseline=baseline,
+    )
 
 
 def max_degree_within_loss(
@@ -245,12 +376,20 @@ class Fig2Result:
     per_layer: Dict[str, Dict[str, List[float]]]
 
 
-def fig2(estimator: Optional[Estimator] = None) -> Fig2Result:
+def fig2(
+    estimator: Optional[Estimator] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Fig2Result:
     """Fig. 2: TC/STC/DSTC/HighLight on pruned Transformer-Big and
-    ResNet50, accuracy matched within 0.5%."""
-    estimator = estimator or Estimator()
+    ResNet50, accuracy matched within 0.5%.
+
+    Every layer evaluation routes through the shared engine, so the
+    dense layers revisited by Fig. 15 (and by the TC baselines of both
+    models) are cache hits, not re-evaluations.
+    """
+    engine = engine or SweepEngine.shared(estimator)
     designs = {
-        name: REGISTRY.create(name)
+        name: engine.design(name)
         for name in ("TC", "STC", "DSTC", "HighLight")
     }
     models = {
@@ -267,13 +406,15 @@ def fig2(estimator: Optional[Estimator] = None) -> Fig2Result:
                 model, DESIGN_LADDERS["HighLight"][0], 1.04
             ),
         }
-        baseline = evaluate_model(designs["TC"], model, 0.0, estimator)
+        baseline = evaluate_model(
+            designs["TC"], model, 0.0, engine=engine
+        )
         assert baseline is not None
         results[model_name] = {}
         per_layer_out[model_name] = {}
         for design_name, design in designs.items():
             evaluation = evaluate_model(
-                design, model, degrees[design_name], estimator
+                design, model, degrees[design_name], engine=engine
             )
             if evaluation is None:
                 continue
@@ -327,40 +468,57 @@ class Fig15Result:
         )
 
 
-def fig15(estimator: Optional[Estimator] = None) -> Fig15Result:
-    """Fig. 15: the EDP/accuracy-loss trade-off for the three DNNs."""
-    estimator = estimator or Estimator()
-    designs = {d.name: d for d in all_designs()}
+def _pareto_points(
+    model: DnnModel, sweep: ModelSweepResult
+) -> List[ParetoPoint]:
+    """Fold a network sweep into Fig. 15-style Pareto points."""
+    accuracy = AccuracyModel.for_model(model)
+    assert sweep.baseline is not None
+    baseline = sweep.evaluations[sweep.baseline]
+    assert baseline is not None
+    points: List[ParetoPoint] = []
+    for design_name, degree, evaluation in sweep.rows():
+        if evaluation is None:
+            continue
+        _, granularity = DESIGN_LADDERS[design_name]
+        loss = accuracy.loss_pct(degree, granularity)
+        loss += DESIGN_ACTIVATION_LOSS_PCT[design_name]
+        points.append(
+            ParetoPoint(
+                design=design_name,
+                weight_sparsity=degree,
+                accuracy_loss_pct=loss,
+                normalized_edp=evaluation.edp / baseline.edp,
+            )
+        )
+    return points
+
+
+def fig15(
+    estimator: Optional[Estimator] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Fig15Result:
+    """Fig. 15: the EDP/accuracy-loss trade-off for the three DNNs.
+
+    Each network's design x degree-ladder grid is one batched
+    :func:`sweep_model` submission: candidate workloads deduplicate
+    across designs and degrees (every dense layer is costed once per
+    design), and parallel/persistent-cache engines accelerate the
+    whole figure transparently.
+    """
+    engine = engine or SweepEngine.shared(estimator)
     out: Dict[str, List[ParetoPoint]] = {}
     for model in all_models():
-        accuracy = AccuracyModel.for_model(model)
-        baseline = evaluate_model(designs["TC"], model, 0.0, estimator)
-        assert baseline is not None
-        points: List[ParetoPoint] = []
-        for design_name, (ladder, granularity) in DESIGN_LADDERS.items():
-            design = designs[design_name]
-            for degree in ladder:
-                evaluation = evaluate_model(
-                    design, model, degree, estimator
-                )
-                if evaluation is None:
-                    continue
-                loss = accuracy.loss_pct(degree, granularity)
-                loss += DESIGN_ACTIVATION_LOSS_PCT[design_name]
-                points.append(
-                    ParetoPoint(
-                        design=design_name,
-                        weight_sparsity=degree,
-                        accuracy_loss_pct=loss,
-                        normalized_edp=evaluation.edp / baseline.edp,
-                    )
-                )
-        out[model.name] = points
+        sweep = sweep_model(
+            model, designs=tuple(DESIGN_LADDERS), engine=engine
+        )
+        out[model.name] = _pareto_points(model, sweep)
     return Fig15Result(points=out)
 
 
 def ext_efficientnet(
     estimator: Optional[Estimator] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig15Result:
     """Extension experiment: the Fig. 15 study on EfficientNet-B0.
 
@@ -372,31 +530,14 @@ def ext_efficientnet(
     """
     from repro.dnn.models import efficientnet_b0
 
-    estimator = estimator or Estimator()
-    designs = {d.name: d for d in all_designs()}
+    engine = engine or SweepEngine.shared(estimator)
     model = efficientnet_b0()
-    accuracy = AccuracyModel.for_model(model)
-    baseline = evaluate_model(designs["TC"], model, 0.0, estimator)
-    assert baseline is not None
-    points: List[ParetoPoint] = []
-    for design_name, (ladder, granularity) in DESIGN_LADDERS.items():
-        design = designs[design_name]
-        for degree in ladder:
-            evaluation = evaluate_model(design, model, degree, estimator)
-            if evaluation is None:
-                continue
-            points.append(
-                ParetoPoint(
-                    design=design_name,
-                    weight_sparsity=degree,
-                    accuracy_loss_pct=(
-                        accuracy.loss_pct(degree, granularity)
-                        + DESIGN_ACTIVATION_LOSS_PCT[design_name]
-                    ),
-                    normalized_edp=evaluation.edp / baseline.edp,
-                )
-            )
-    return Fig15Result(points={model.name: points})
+    sweep = sweep_model(
+        model, designs=tuple(DESIGN_LADDERS), engine=engine
+    )
+    return Fig15Result(
+        points={model.name: _pareto_points(model, sweep)}
+    )
 
 
 # ----------------------------------------------------------------------
@@ -461,28 +602,44 @@ class Fig17Result:
 
 
 def fig17(
-    estimator: Optional[Estimator] = None, size: int = 1024
+    estimator: Optional[Estimator] = None,
+    size: int = 1024,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig17Result:
     """Fig. 17: HighLight vs DSSO with A C1(dense)->C0(2:4) weights and
-    B C1(2:{2<=H<=8})->C0(dense) activations."""
-    estimator = estimator or Estimator()
-    highlight = REGISTRY.create("HighLight")
-    dsso = REGISTRY.create("DSSO")
+    B C1(2:{2<=H<=8})->C0(dense) activations.
+
+    The fourteen (design, workload) pairs go through the engine as one
+    batch — memoized and parallelizable like every other experiment.
+    """
+    engine = engine or SweepEngine.shared(estimator)
     pattern_a = HSSPattern.from_ratios((2, 4))
-    speeds: Dict[int, Tuple[float, float]] = {}
+    workloads: List[Tuple[int, MatmulWorkload]] = []
     for h in range(2, 9):
         pattern_b = HSSPattern.from_ratios((4, 4), (2, h))
-        workload = MatmulWorkload(
-            m=size, k=size, n=size,
-            a=hss_operand(pattern_a),
-            b=hss_operand(pattern_b),
-            name=f"fig17 H={h}",
+        workloads.append(
+            (
+                h,
+                MatmulWorkload(
+                    m=size, k=size, n=size,
+                    a=hss_operand(pattern_a),
+                    b=hss_operand(pattern_b),
+                    name=f"fig17 H={h}",
+                ),
+            )
         )
-        dense_cycles = workload.dense_products / (
-            highlight.resources.arch.num_macs
-        )
-        metrics_hl = highlight.evaluate(workload, estimator)
-        metrics_dsso = dsso.evaluate(workload, estimator)
+    pairs: List[Pair] = []
+    for _, workload in workloads:
+        pairs.append(("HighLight", workload))
+        pairs.append(("DSSO", workload))
+    results = iter(engine.evaluate_workloads(pairs))
+    num_macs = engine.design("HighLight").resources.arch.num_macs
+    speeds: Dict[int, Tuple[float, float]] = {}
+    for h, workload in workloads:
+        metrics_hl = next(results)
+        metrics_dsso = next(results)
+        assert metrics_hl is not None and metrics_dsso is not None
+        dense_cycles = workload.dense_products / num_macs
         speeds[h] = (
             dense_cycles / metrics_hl.cycles,
             dense_cycles / metrics_dsso.cycles,

@@ -23,6 +23,7 @@ from repro.model.workload import (
     OperandSparsity,
     dense_operand,
     hss_operand,
+    quantize_degree,
     structured_operand,
     unstructured_operand,
 )
@@ -43,13 +44,13 @@ def canonical_hss(sparsity: float) -> Optional[HSSPattern]:
 
     Raises ``KeyError`` for degrees without a canonical pattern.
     """
-    return CANONICAL_HSS[round(sparsity, 6)]
+    return CANONICAL_HSS[quantize_degree(sparsity)]
 
 
 def _hss_or_unstructured(sparsity: float) -> OperandSparsity:
     """An HSS operand when a canonical pattern exists, else
     unstructured."""
-    key = round(sparsity, 6)
+    key = quantize_degree(sparsity)
     if key in CANONICAL_HSS:
         pattern = CANONICAL_HSS[key]
         return hss_operand(pattern) if pattern else dense_operand()
@@ -128,7 +129,7 @@ def realize_workloads(
         ]
         # Swapping is only useful when the other operand's degree has a
         # canonical HSS realization.
-        if round(sparsity_b, 6) in CANONICAL_HSS:
+        if quantize_degree(sparsity_b) in CANONICAL_HSS:
             candidates.append(
                 wl(
                     _hss_or_unstructured(sparsity_b),
@@ -138,6 +139,34 @@ def realize_workloads(
             )
         return candidates
     raise UnsupportedWorkloadError(f"unknown design {design_name!r}")
+
+
+def evaluate_workload(
+    design: AcceleratorDesign,
+    workload: MatmulWorkload,
+    estimator: Estimator,
+) -> Optional[Metrics]:
+    """Metrics for one (design, workload) pair as given — no operand
+    swap, no candidate selection — or ``None`` when the design cannot
+    process the workload. This is the engine's unit of memoization."""
+    if not design.supports(workload):
+        return None
+    return design.evaluate(workload, estimator)
+
+
+def best_metrics(
+    candidates: "List[Optional[Metrics]]",
+) -> Optional[Metrics]:
+    """The paper's selection rule over a cell's candidate realizations:
+    lowest EDP wins, first candidate wins ties, all-unsupported is
+    ``None``."""
+    best: Optional[Metrics] = None
+    for metrics in candidates:
+        if metrics is None:
+            continue
+        if best is None or metrics.edp < best.edp:
+            best = metrics
+    return best
 
 
 def evaluate_cell(
@@ -151,16 +180,14 @@ def evaluate_cell(
 ) -> Optional[Metrics]:
     """Best-EDP metrics for one (degree_A, degree_B) cell, or ``None``
     when the design supports no realization (S2TA on dense-dense)."""
-    best: Optional[Metrics] = None
-    for workload in realize_workloads(
-        design.name, sparsity_a, sparsity_b, m, k, n
-    ):
-        if not design.supports(workload):
-            continue
-        metrics = design.evaluate(workload, estimator)
-        if best is None or metrics.edp < best.edp:
-            best = metrics
-    return best
+    return best_metrics(
+        [
+            evaluate_workload(design, workload, estimator)
+            for workload in realize_workloads(
+                design.name, sparsity_a, sparsity_b, m, k, n
+            )
+        ]
+    )
 
 
 def workload_for_layer(

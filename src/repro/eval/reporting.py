@@ -10,6 +10,7 @@ from repro.eval.experiments import (
     Fig15Result,
     Fig16Result,
     Fig17Result,
+    ModelSweepResult,
     SweepResult,
 )
 
@@ -72,6 +73,38 @@ def render_sweep(result: SweepResult, metric: str = "edp") -> str:
         for design in result.design_order
     )
     return title + "\n" + format_table(headers, rows) + "\n" + footer
+
+
+def render_model_sweep(result: ModelSweepResult) -> str:
+    """A network sweep: per (design, degree) totals and normalized EDP
+    (the ``repro sweep --model`` subcommand's view)."""
+    headers = ["design", "weight sparsity", "cycles", "energy (uJ)",
+               "normalized EDP"]
+    rows: List[List[str]] = []
+    for design, degree, evaluation in result.rows():
+        if evaluation is None:
+            rows.append([design, f"{degree:.1%}", "n/s", "n/s", "n/s"])
+            continue
+        normalized = result.normalized_edp(design, degree)
+        rows.append(
+            [
+                design,
+                f"{degree:.1%}",
+                f"{evaluation.total_cycles:.3e}",
+                f"{evaluation.total_energy_pj / 1e6:.1f}",
+                "-" if normalized is None else f"{normalized:.3f}",
+            ]
+        )
+    baseline = (
+        "raw EDP (no TC baseline in sweep)"
+        if result.baseline is None
+        else f"TC @ {result.baseline[1]:.0%} = 1"
+    )
+    title = (
+        f"Network sweep — {result.model} "
+        f"(lower is better, {baseline})"
+    )
+    return title + "\n" + format_table(headers, rows)
 
 
 def render_fig14(geomeans: Dict[str, Dict[str, float]]) -> str:

@@ -12,14 +12,18 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import EvaluationError
 from repro.eval.engine import SweepEngine, SweepResult
 from repro.model.metrics import Metrics
 
+if TYPE_CHECKING:  # typing-only, avoids a cycle with experiments
+    from repro.eval.experiments import ModelSweepResult
+
 #: Record format version, bumped on breaking schema changes.
-SCHEMA_VERSION = 1
+#: v2: cache stats gained disk_hits/evaluations; model-sweep records.
+SCHEMA_VERSION = 2
 
 
 def metrics_summary(metrics: Optional[Metrics]) -> Optional[Dict[str, Any]]:
@@ -108,6 +112,61 @@ def record_from_sweep(
         grid=grid,
         cells=cells,
         geomeans=geomeans,
+        wall_time_s=wall_time_s,
+        cache=engine.stats.as_dict() if engine is not None else {},
+    )
+
+
+def record_from_model_sweep(
+    command: str,
+    sweep: "ModelSweepResult",
+    engine: Optional[SweepEngine] = None,
+    wall_time_s: float = 0.0,
+    created_at: Optional[str] = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from a network sweep.
+
+    Cells are (design, weight_sparsity) network totals; the engine's
+    cache counters record how much of the sweep was served from memory
+    or disk versus actually evaluated — a warm persistent cache shows
+    ``evaluations == 0`` here.
+    """
+    if created_at is None:
+        created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    cells: List[Dict[str, Any]] = []
+    for design, degree, evaluation in sweep.rows():
+        summary: Optional[Dict[str, Any]] = None
+        if evaluation is not None:
+            summary = {
+                "cycles": evaluation.total_cycles,
+                "energy_pj": evaluation.total_energy_pj,
+                "edp": evaluation.edp,
+                "normalized_edp": sweep.normalized_edp(design, degree),
+                "layers": len(evaluation.per_layer),
+            }
+        cells.append(
+            {
+                "design": design,
+                "weight_sparsity": degree,
+                "metrics": summary,
+            }
+        )
+    grid: Dict[str, Any] = {
+        "model": sweep.model,
+        "designs": list(sweep.design_order),
+        "degrees": {
+            design: list(degrees)
+            for design, degrees in sweep.degrees.items()
+        },
+    }
+    if sweep.baseline is not None:
+        grid["baseline"] = list(sweep.baseline)
+    return RunRecord(
+        command=command,
+        created_at=created_at,
+        grid=grid,
+        cells=cells,
+        geomeans={},
         wall_time_s=wall_time_s,
         cache=engine.stats.as_dict() if engine is not None else {},
     )

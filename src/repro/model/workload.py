@@ -11,10 +11,36 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import WorkloadError
 from repro.sparsity.hss import HSSPattern
+
+#: Decimal places sparsity degrees/densities are quantized to for
+#: content keys and canonical-pattern lookups. Grid arithmetic produces
+#: float noise well below 1e-9; distinct degrees in any realistic sweep
+#: differ by far more.
+DEGREE_DECIMALS = 9
+
+
+def quantize_degree(degree: float) -> float:
+    """The canonical quantization of a sparsity degree (or density).
+
+    Every cache key and canonical-pattern lookup in the code base must
+    go through this one helper, so 0.5 and 0.5000000001 — float noise
+    from grid arithmetic — always land on the same key.
+    """
+    return round(degree, DEGREE_DECIMALS)
+
+
+#: A hashable, content-based operand key (structure + quantized density
+#: + serialized HSS ranks).
+OperandKey = Tuple[object, ...]
+
+#: A hashable, content-based workload key: (m, k, n, A key, B key).
+#: The display ``name`` is deliberately excluded — two workloads with
+#: identical numerics share one key regardless of labeling.
+WorkloadKey = Tuple[object, ...]
 
 
 class Structure(enum.Enum):
@@ -62,6 +88,16 @@ class OperandSparsity:
     @property
     def is_dense(self) -> bool:
         return self.structure is Structure.DENSE
+
+    def key(self) -> OperandKey:
+        """Canonical content key: structure, quantized density, and —
+        for HSS operands — the concrete per-rank G:H rules (lowest rank
+        first), so patterns with equal density but different block
+        hierarchies stay distinct."""
+        ranks: Tuple[Tuple[int, int], ...] = ()
+        if self.pattern is not None:
+            ranks = tuple((rank.g, rank.h) for rank in self.pattern.ranks)
+        return (self.structure.value, quantize_degree(self.density), ranks)
 
     def describe(self) -> str:
         if self.is_dense:
@@ -128,6 +164,17 @@ class MatmulWorkload:
     def effectual_products(self) -> float:
         """Expected products with both operands nonzero."""
         return self.dense_products * self.a.density * self.b.density
+
+    def key(self) -> WorkloadKey:
+        """Canonical content key: shape plus both operand keys.
+
+        The ``name`` label is excluded on purpose: it is display-only,
+        and memoization must treat identically shaped/sparse workloads
+        as one unit of work no matter how a caller labeled them (the
+        same dense layer appears under many labels across a network
+        sweep's degrees and designs).
+        """
+        return (self.m, self.k, self.n, self.a.key(), self.b.key())
 
     def swapped(self) -> "MatmulWorkload":
         """The transposed-operand workload (Z^T = B^T A^T)."""

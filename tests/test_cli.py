@@ -87,7 +87,11 @@ class TestSweepSubcommand:
         assert "geomean" in out
         record = json.loads(record_path.read_text())
         assert record["grid"]["designs"] == ["TC", "HighLight"]
-        assert record["cache"]["misses"] == 8
+        # 8 grid cells realize 6 unique (design, workload) pairs: TC's
+        # dense workload is shared by all four of its cells, and
+        # HighLight's dense-dense orientations collapse to one.
+        assert record["cache"]["misses"] == 6
+        assert record["cache"]["evaluations"] == 6
         assert len(record["cells"]) == 8
         assert record["geomeans"]["edp"]["TC"] == pytest.approx(1.0)
 
@@ -117,6 +121,109 @@ class TestSweepSubcommand:
         assert "Include TC" in capsys.readouterr().err
 
 
+class TestModelSweepSubcommand:
+    def test_model_sweep_with_record(self, tmp_path, capsys):
+        record_path = tmp_path / "model-run.json"
+        assert main([
+            "sweep", "--model", "DeiT-small",
+            "--designs", "TC,HighLight", "--degrees", "0.0,0.5",
+            "--record", str(record_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Network sweep — DeiT-small" in out
+        assert "workloads evaluated" in out
+        record = json.loads(record_path.read_text())
+        assert record["command"] == "sweep-model"
+        assert record["grid"]["model"] == "DeiT-small"
+        assert record["grid"]["baseline"] == ["TC", 0.0]
+        assert len(record["cells"]) == 4
+        by_key = {
+            (c["design"], c["weight_sparsity"]): c["metrics"]
+            for c in record["cells"]
+        }
+        assert by_key[("TC", 0.0)]["normalized_edp"] == pytest.approx(1.0)
+        assert by_key[("HighLight", 0.5)]["normalized_edp"] < 1.0
+
+    def test_warm_persistent_cache_skips_all_evaluations(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "sweep", "--model", "DeiT-small",
+            "--designs", "TC,HighLight", "--degrees", "0.0,0.5",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv + ["--record", str(tmp_path / "cold.json")]) == 0
+        cold_out = capsys.readouterr().out
+        assert main(argv + ["--record", str(tmp_path / "warm.json")]) == 0
+        warm_out = capsys.readouterr().out
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert cold["cache"]["evaluations"] > 0
+        assert warm["cache"]["evaluations"] == 0
+        assert warm["cache"]["misses"] == 0
+        assert warm["cache"]["disk_hits"] > 0
+        assert cold["cells"] == warm["cells"]
+        # The rendered tables (everything above the timing line) match.
+        assert (
+            cold_out.split("\n\n")[0] == warm_out.split("\n\n")[0]
+        )
+
+    def test_unknown_model_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model", "AlexNet"])
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_degrees_without_model_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--degrees", "0.5", "--size", "64"])
+        assert "--model" in capsys.readouterr().err
+
+    def test_grid_flags_with_model_rejected(self, capsys):
+        """Grid-only flags must not be silently ignored on a model
+        sweep."""
+        for flag, value in (
+            ("--a-degrees", "0.5"), ("--b-degrees", "0.5"),
+            ("--size", "512"),
+        ):
+            with pytest.raises(SystemExit):
+                main(["sweep", "--model", "DeiT-small", flag, value])
+            assert "synthetic grids" in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "sweep", "--model", "DeiT-small", "--designs", "TC",
+            "--degrees", "0.0", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "total entries" in out
+        assert ".json" in out
+        assert main(["cache", "clear", "--cache-dir",
+                     str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir",
+                     str(cache_dir)]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_env_var_cache_dir(self, tmp_path, capsys, monkeypatch):
+        cache_dir = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main([
+            "sweep", "--model", "DeiT-small", "--designs", "TC",
+            "--degrees", "0.0",
+        ]) == 0
+        capsys.readouterr()
+        assert cache_dir.is_dir()
+        assert main(["cache", "stats"]) == 0
+        assert str(cache_dir) in capsys.readouterr().out
+
+
 class TestListSubcommand:
     def test_lists_all_designs_and_artifacts(self, capsys):
         assert main(["list"]) == 0
@@ -138,22 +245,22 @@ class TestListSubcommand:
 
 
 class TestSingleEvaluationRegression:
-    def test_repro_all_evaluates_each_cell_once(self, monkeypatch):
+    def test_repro_all_evaluates_each_pair_once(self, monkeypatch):
         """`repro all` regenerates Fig. 14 (and Fig. 16's breakdown
-        cell) from the Fig. 13 sweep without re-evaluating any cell:
-        the counting spy must never see the same cell twice."""
+        cell) from the Fig. 13 sweep without re-evaluating anything:
+        the counting spy must see each unique (design, workload) pair
+        exactly once — and nothing outside the grid's realizations."""
         import repro.eval.engine as engine_mod
+        from repro.eval.harness import realize_workloads
 
         calls = []
-        real = engine_mod.evaluate_cell
+        real = engine_mod.evaluate_workload
 
-        def counting(design, sparsity_a, sparsity_b, estimator,
-                     m=1024, k=1024, n=1024):
-            calls.append((design.name, sparsity_a, sparsity_b, m, k, n))
-            return real(design, sparsity_a, sparsity_b, estimator,
-                        m, k, n)
+        def counting(design, workload, estimator):
+            calls.append((design.name, workload.key()))
+            return real(design, workload, estimator)
 
-        monkeypatch.setattr(engine_mod, "evaluate_cell", counting)
+        monkeypatch.setattr(engine_mod, "evaluate_workload", counting)
         estimator = Estimator()
         # The exact shape of `repro all`'s sweep reuse: fig13, then
         # fig14 re-running fig13, then fig16 revisiting a grid cell.
@@ -162,5 +269,13 @@ class TestSingleEvaluationRegression:
         E.fig16(estimator)
         assert calls, "spy never engaged"
         assert len(calls) == len(set(calls))
-        expected = len(E.A_DEGREES) * len(E.B_DEGREES) * 5
-        assert len(calls) == expected
+        expected = {
+            (name, workload.key())
+            for sparsity_a in E.A_DEGREES
+            for sparsity_b in E.B_DEGREES
+            for name in ("TC", "STC", "DSTC", "S2TA", "HighLight")
+            for workload in realize_workloads(
+                name, sparsity_a, sparsity_b
+            )
+        }
+        assert set(calls) == expected

@@ -1,5 +1,7 @@
 """Tests for the memoizing/parallel sweep engine."""
 
+import threading
+
 import pytest
 
 from repro.energy import Estimator
@@ -9,6 +11,7 @@ from repro.eval.engine import (
     SweepEngine,
     grid_cells,
 )
+from repro.model.workload import synthetic_workload
 
 
 @pytest.fixture
@@ -19,31 +22,36 @@ def engine(estimator):
 SMALL = dict(m=128, k=128, n=128)
 
 
-class TestCellKey:
-    def test_key_is_content_based(self):
-        assert Cell("TC", 0.5, 0.0).key == Cell("TC", 0.5, 0.0).key
+class TestCellRealization:
+    def test_degree_noise_shares_workload_keys(self):
+        """Cells carry no cache key of their own; quantization inside
+        the workload keys absorbs grid-arithmetic float noise."""
+        exact = [w.key() for w in Cell("HighLight", 0.5, 0.25).realize()]
+        noisy = [
+            w.key()
+            for w in Cell("HighLight", 0.5 + 1e-12, 0.25).realize()
+        ]
+        assert exact == noisy
 
-    def test_key_absorbs_float_noise(self):
-        assert Cell("TC", 0.5, 0.0).key == Cell(
-            "TC", 0.5 + 1e-12, 0.0
-        ).key
-
-    def test_key_distinguishes_shape(self):
-        assert Cell("TC", 0.5, 0.0, m=256).key != Cell(
-            "TC", 0.5, 0.0
-        ).key
+    def test_shape_distinguishes_workloads(self):
+        assert (
+            Cell("TC", 0.5, 0.0, m=256).realize()[0].key()
+            != Cell("TC", 0.5, 0.0).realize()[0].key()
+        )
 
 
 class TestMemoization:
     def test_cache_hit_counting(self, engine):
+        # TC realizes one dense workload; HighLight(0.5, 0.0) realizes
+        # its primary orientation plus the swap (B's 0% is canonical).
         cells = [Cell("TC", 0.0, 0.0, **SMALL),
                  Cell("HighLight", 0.5, 0.0, **SMALL)]
         first = engine.evaluate_cells(cells)
-        assert engine.stats.misses == 2
+        assert engine.stats.misses == 3
         assert engine.stats.hits == 0
         second = engine.evaluate_cells(cells)
-        assert engine.stats.misses == 2
-        assert engine.stats.hits == 2
+        assert engine.stats.misses == 3
+        assert engine.stats.hits == 3
         assert first == second
 
     def test_duplicates_within_one_batch_evaluated_once(self, engine):
@@ -54,11 +62,41 @@ class TestMemoization:
         assert results[0] == results[1] == results[2]
 
     def test_unsupported_cells_are_cached_too(self, engine):
+        # Both square-cell orientations share one workload key, so the
+        # first batch is 1 miss + 1 hit, the second pure hits.
         cell = Cell("S2TA", 0.0, 0.0, **SMALL)  # dense-dense: None
         assert engine.evaluate_cells([cell]) == [None]
         assert engine.evaluate_cells([cell]) == [None]
         assert engine.stats.misses == 1
+        assert engine.stats.hits == 3
+
+    def test_workloads_deduplicate_across_labels(self, engine):
+        """The memoization key is workload *content*: two identically
+        shaped/sparse workloads with different display names share one
+        evaluation."""
+        first = synthetic_workload(0.5, 0.25, size=128)
+        relabeled = type(first)(
+            m=first.m, k=first.k, n=first.n, a=first.a, b=first.b,
+            name="a totally different label",
+        )
+        results = engine.evaluate_workloads(
+            [("HighLight", first), ("HighLight", relabeled)]
+        )
+        assert engine.stats.misses == 1
         assert engine.stats.hits == 1
+        assert results[0] == results[1]
+
+    def test_dense_workload_shared_across_degree_cells(self, engine):
+        """TC's realization is degree-independent, so a whole TC degree
+        column costs exactly one evaluation."""
+        cells = [
+            Cell("TC", a, b, **SMALL)
+            for a in (0.0, 0.5, 0.75)
+            for b in (0.0, 0.25, 0.5)
+        ]
+        engine.evaluate_cells(cells)
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == len(cells) - 1
 
     def test_shared_engine_per_estimator(self):
         estimator = Estimator()
@@ -92,6 +130,99 @@ class TestParallelism:
     def test_invalid_jobs_rejected(self):
         with pytest.raises(EvaluationError):
             SweepEngine(jobs=0)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(EvaluationError, match="backend"):
+            SweepEngine(backend="gpu")
+
+    def test_process_backend_matches_serial(self, estimator):
+        small = dict(m=64, k=64, n=64)
+        serial = SweepEngine(estimator).sweep(
+            designs=("TC", "HighLight"),
+            a_degrees=(0.0, 0.5), b_degrees=(0.0,), **small,
+        )
+        engine = SweepEngine(jobs=2, backend="process")
+        try:
+            procs = engine.sweep(
+                designs=("TC", "HighLight"),
+                a_degrees=(0.0, 0.5), b_degrees=(0.0,), **small,
+            )
+        finally:
+            engine.close()
+        for cell in serial.cells:
+            for design in ("TC", "HighLight"):
+                ours = serial.cells[cell][design]
+                theirs = procs.cells[cell][design]
+                assert ours.edp == pytest.approx(theirs.edp)
+                assert ours.cycles == pytest.approx(theirs.cycles)
+
+    def test_process_pool_reused_across_batches(self):
+        # Each sweep is one batch with >1 unique pair (STC/DSTC realize
+        # several orientations), so both go through the pool.
+        engine = SweepEngine(jobs=2, backend="process")
+        try:
+            engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
+                         b_degrees=(0.0,), m=64, k=64, n=64)
+            pool = engine._process_pool
+            assert pool is not None
+            engine.sweep(designs=("DSTC",), a_degrees=(0.0, 0.5),
+                         b_degrees=(0.0,), m=64, k=64, n=64)
+            assert engine._process_pool is pool
+        finally:
+            engine.close()
+        assert engine._process_pool is None
+
+    def test_process_initargs_stay_picklable_after_shared_use(self):
+        """A used estimator carries the shared engine (locks/events)
+        and cannot be pickled — which is why the process backend ships
+        (table, plugins) instead of the estimator object. Guards the
+        spawn/forkserver platforms where initargs really are pickled."""
+        import pickle
+
+        estimator = Estimator()
+        SweepEngine.shared(estimator).evaluate_cells(
+            [Cell("TC", 0.0, 0.0, m=64, k=64, n=64)]
+        )
+        with pytest.raises(TypeError):
+            pickle.dumps(estimator)
+        pickle.dumps((estimator.table, estimator._plugins))
+
+
+class TestThreadSafety:
+    def test_concurrent_batches_evaluate_each_pair_once(self, estimator):
+        """Many threads hammering one engine with the same grid must
+        agree on results and evaluate each unique pair exactly once
+        (the in-flight registry makes concurrent misses collapse)."""
+        engine = SweepEngine(estimator, jobs=4)
+        cells = grid_cells(
+            ("TC", "STC", "HighLight"), (0.0, 0.5), (0.0, 0.5), **SMALL
+        )
+        unique_pairs = {
+            (cell.design, workload.key())
+            for cell in cells
+            for workload in cell.realize()
+        }
+        results = [None] * 8
+        errors = []
+
+        def hammer(index):
+            try:
+                results[index] = engine.evaluate_cells(cells)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert all(batch == results[0] for batch in results)
+        assert engine.stats.misses == len(unique_pairs)
+        requests = sum(len(cell.realize()) for cell in cells) * 8
+        assert engine.stats.requests == requests
 
 
 class TestSweep:

@@ -107,6 +107,70 @@ class TestMatmulWorkload:
         assert "toy" in self.workload().describe()
 
 
+class TestQuantizeDegree:
+    def test_absorbs_float_noise(self):
+        from repro.model.workload import quantize_degree
+
+        assert quantize_degree(0.5 + 1e-12) == 0.5
+        assert quantize_degree(0.75 - 1e-13) == 0.75
+
+    def test_preserves_real_degrees(self):
+        from repro.model.workload import quantize_degree
+
+        assert quantize_degree(0.625) == 0.625
+        assert quantize_degree(0.5) != quantize_degree(0.50001)
+
+
+class TestContentKeys:
+    def workload(self, name="toy"):
+        return MatmulWorkload(
+            m=4, k=8, n=2,
+            a=structured_operand(2, 4), b=unstructured_operand(0.5),
+            name=name,
+        )
+
+    def test_operand_key_distinguishes_structure(self):
+        assert dense_operand().key() != unstructured_operand(0.5).key()
+        assert (
+            structured_operand(2, 4).key()
+            != unstructured_operand(0.5).key()
+        )
+
+    def test_operand_key_serializes_hss_ranks(self):
+        pattern = HSSPattern.from_ratios((2, 4), (4, 8))
+        operand = hss_operand(pattern)
+        assert operand.key()[2] == ((2, 4), (4, 8))
+
+    def test_operand_key_distinguishes_equal_density_patterns(self):
+        """2:4 and 4:8 have equal density but different block
+        hierarchies — they must not share a cache entry."""
+        assert (
+            structured_operand(2, 4).key()
+            != structured_operand(4, 8).key()
+        )
+
+    def test_operand_key_absorbs_density_noise(self):
+        assert (
+            unstructured_operand(0.5).key()
+            == unstructured_operand(0.5 + 1e-12).key()
+        )
+
+    def test_workload_key_ignores_name(self):
+        assert self.workload("a").key() == self.workload("b").key()
+
+    def test_workload_key_hashable_and_content_based(self):
+        assert hash(self.workload().key()) == hash(self.workload().key())
+        other = MatmulWorkload(
+            m=4, k=8, n=4,
+            a=structured_operand(2, 4), b=unstructured_operand(0.5),
+        )
+        assert other.key() != self.workload().key()
+
+    def test_swapped_workload_has_distinct_key(self):
+        workload = self.workload()
+        assert workload.swapped().key() != workload.key()
+
+
 class TestSyntheticWorkload:
     def test_dense(self):
         workload = synthetic_workload(0.0, 0.0)

@@ -1,0 +1,171 @@
+"""Tests for the engine-backed network evaluation and model sweeps."""
+
+import pytest
+
+from repro.dnn.models import deit_small, get_model, model_names
+from repro.energy import Estimator
+from repro.errors import WorkloadError
+from repro.eval.engine import SweepEngine
+from repro.eval import experiments as E
+
+
+class TestModelRegistry:
+    def test_paper_trio_plus_extension_registered(self):
+        assert model_names() == (
+            "ResNet50", "DeiT-small", "Transformer-Big",
+            "EfficientNet-B0",
+        )
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model("deit-small").name == "DeiT-small"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(WorkloadError, match="AlexNet"):
+            get_model("AlexNet")
+
+
+class TestEvaluateModelViaEngine:
+    def test_repeat_evaluation_is_all_hits(self, estimator):
+        engine = SweepEngine(estimator)
+        model = deit_small()
+        design = engine.design("HighLight")
+        first = E.evaluate_model(design, model, 0.5, engine=engine)
+        evaluations = engine.stats.misses
+        second = E.evaluate_model(design, model, 0.5, engine=engine)
+        assert engine.stats.misses == evaluations
+        assert first.edp == pytest.approx(second.edp)
+
+    def test_matches_positional_estimator_call(self, estimator):
+        """The legacy call shape (estimator positional) still works and
+        agrees with an explicit engine."""
+        model = deit_small()
+        engine = SweepEngine(estimator)
+        design = engine.design("TC")
+        via_estimator = E.evaluate_model(design, model, 0.0, estimator)
+        via_engine = E.evaluate_model(design, model, 0.0, engine=engine)
+        assert via_estimator.edp == pytest.approx(via_engine.edp)
+
+
+class TestExactlyOnceAcrossDegrees:
+    def test_deit_sweep_evaluates_each_pair_exactly_once(
+        self, monkeypatch
+    ):
+        """The counting spy mirrors tests/test_engine.py at the network
+        level: a multi-degree DeiT-small sweep must evaluate each
+        unique (design, workload) pair exactly once — dense layers
+        repeat identically at every weight-sparsity point and must be
+        deduplicated, not re-evaluated."""
+        import repro.eval.engine as engine_mod
+
+        calls = []
+        real = engine_mod.evaluate_workload
+
+        def counting(design, workload, estimator):
+            calls.append((design.name, workload.key()))
+            return real(design, workload, estimator)
+
+        monkeypatch.setattr(engine_mod, "evaluate_workload", counting)
+        engine = SweepEngine(Estimator())
+        sweep = E.sweep_model(
+            deit_small(),
+            designs=("TC", "DSTC", "HighLight"),
+            degrees=(0.0, 0.5, 0.75),
+            engine=engine,
+        )
+        assert calls, "spy never engaged"
+        assert len(calls) == len(set(calls))
+        # Dedup must be substantial: DeiT-small has 6 layers of which
+        # only 3 are prunable, so the dense layers (and all of TC's
+        # degree points) collapse across the 3-degree ladder.
+        assert engine.stats.requests > len(calls)
+        assert engine.stats.misses == len(calls)
+        # TC ignores sparsity entirely: one evaluation per layer.
+        tc_calls = [c for c in calls if c[0] == "TC"]
+        assert len(tc_calls) == len(deit_small().layers)
+        assert all(
+            sweep.evaluations[("TC", degree)].edp
+            == pytest.approx(sweep.evaluations[("TC", 0.0)].edp)
+            for degree in (0.5, 0.75)
+        )
+
+
+class TestSweepModelResult:
+    @pytest.fixture(scope="class")
+    def sweep(self, estimator):
+        return E.sweep_model(
+            deit_small(), engine=SweepEngine(estimator)
+        )
+
+    def test_default_ladders(self, sweep):
+        assert sweep.design_order == (
+            "TC", "STC", "DSTC", "S2TA", "HighLight",
+        )
+        assert sweep.degrees["TC"] == (0.0,)
+        assert sweep.degrees["HighLight"] == (0.5, 0.625, 0.75)
+
+    def test_baseline_normalizes_to_one(self, sweep):
+        assert sweep.baseline == ("TC", 0.0)
+        assert sweep.normalized_edp("TC", 0.0) == pytest.approx(1.0)
+
+    def test_s2ta_unsupported_on_attention_model(self, sweep):
+        """DeiT keeps dense layers S2TA cannot process (Sec. 7.3)."""
+        for degree in sweep.degrees["S2TA"]:
+            assert sweep.evaluations[("S2TA", degree)] is None
+            assert sweep.normalized_edp("S2TA", degree) is None
+
+    def test_highlight_beats_dense(self, sweep):
+        for degree in sweep.degrees["HighLight"]:
+            assert sweep.normalized_edp("HighLight", degree) < 1.0
+
+    def test_rows_cover_grid(self, sweep):
+        rows = sweep.rows()
+        assert len(rows) == sum(
+            len(degrees) for degrees in sweep.degrees.values()
+        )
+
+    def test_custom_degrees_apply_to_all_designs(self, estimator):
+        sweep = E.sweep_model(
+            deit_small(),
+            designs=("TC", "HighLight"),
+            degrees=(0.0, 0.5),
+            engine=SweepEngine(estimator),
+        )
+        assert sweep.degrees == {
+            "TC": (0.0, 0.5), "HighLight": (0.0, 0.5),
+        }
+
+    def test_no_tc_means_no_baseline(self, estimator):
+        sweep = E.sweep_model(
+            deit_small(),
+            designs=("HighLight",),
+            degrees=(0.5,),
+            engine=SweepEngine(estimator),
+        )
+        assert sweep.baseline is None
+        assert sweep.normalized_edp("HighLight", 0.5) is None
+
+
+class TestFig15ViaEngine:
+    def test_fig15_fully_cached_on_second_run(self, estimator):
+        engine = SweepEngine(estimator)
+        first = E.fig15(engine=engine)
+        evaluations = engine.stats.misses
+        second = E.fig15(engine=engine)
+        assert engine.stats.misses == evaluations
+        assert second.points.keys() == first.points.keys()
+
+    def test_deit_presweep_covers_fig15_deit_work(self):
+        """A standalone DeiT sweep and fig15 share the cache: running
+        fig15 after the presweep costs exactly as many evaluations as
+        fig15 alone — the DeiT portion is entirely reused."""
+        presweep_engine = SweepEngine(Estimator())
+        E.sweep_model(
+            deit_small(), designs=tuple(E.DESIGN_LADDERS),
+            engine=presweep_engine,
+        )
+        E.fig15(engine=presweep_engine)
+        fresh_engine = SweepEngine(Estimator())
+        E.fig15(engine=fresh_engine)
+        assert (
+            presweep_engine.stats.misses == fresh_engine.stats.misses
+        )

@@ -15,7 +15,7 @@ from repro.eval.reporting import render_fig13
 def test_fig13(benchmark, estimator):
     # A fresh engine per call: the shared per-estimator engine would
     # memoize the sweep and later rounds would time cache lookups.
-    result = benchmark(lambda: E.fig13(engine=SweepEngine(estimator)))
+    result = benchmark(lambda: E.fig13(SweepEngine(estimator)))
     for metric in ("edp", "energy_pj", "cycles"):
         emit(f"Fig. 13 [{metric}]", render_fig13(result, metric))
 

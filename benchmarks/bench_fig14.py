@@ -13,11 +13,11 @@ from repro.eval.reporting import render_fig14
 
 def test_fig14(benchmark, estimator):
     sweep = E.fig13(estimator)
-    geomeans = benchmark(E.fig14, sweep)
-    emit("Fig. 14", render_fig14(geomeans))
+    result = benchmark(E.fig14, sweep)
+    emit("Fig. 14", render_fig14(result))
 
     for metric in ("edp", "ed2", "energy_pj"):
-        per_design = geomeans[metric]
+        per_design = result.geomeans[metric]
         assert per_design["HighLight"] == min(per_design.values()), metric
 
     geomean_tc, max_tc = sweep.gain_over("TC")

@@ -14,7 +14,7 @@ from repro.eval.reporting import render_fig16
 
 def test_fig16(benchmark, estimator):
     # A fresh engine per call (see bench_fig13): keep rounds honest.
-    result = benchmark(lambda: E.fig16(engine=SweepEngine(estimator)))
+    result = benchmark(lambda: E.fig16(SweepEngine(estimator)))
     emit("Fig. 16", render_fig16(result))
 
     assert abs(result.highlight_saf_area_fraction - 0.057) < 0.015

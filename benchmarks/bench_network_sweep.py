@@ -30,7 +30,7 @@ def _run_sweep(cache_dir=None):
         engine.attach_cache(
             PersistentCache.for_estimator(cache_dir, estimator)
         )
-    sweep = E.sweep_model(deit_small(), designs=DESIGNS, engine=engine)
+    sweep = E.sweep_model(deit_small(), designs=DESIGNS, ctx=engine)
     return sweep, engine
 
 

@@ -5,7 +5,9 @@ Usage::
     python -m repro artifact <name> [...]   # regenerate paper artifacts
     python -m repro sweep [--designs ...]   # run a custom sparsity grid
     python -m repro sweep --model NAME      # sweep a DNN across designs
+    python -m repro sweep --model-file F    # ... or a user-defined one
     python -m repro cache stats|clear       # persistent-cache upkeep
+    python -m repro cache merge DIR...      # fan-in sharded cache fills
     python -m repro list [--filter k=v]     # registered designs/artifacts
     python -m repro report [--output PATH]  # EXPERIMENTS.md record
 
@@ -14,128 +16,93 @@ fig13`` and ``python -m repro all`` mean ``artifact fig13`` / ``artifact
 all``. Artifacts: ``tables``, ``fig2``, ``fig6``, ``fig13``, ``fig14``,
 ``fig15``, ``fig16``, ``fig17``.
 
-All artifacts of one invocation share a single estimator and one
-memoizing :class:`~repro.eval.engine.SweepEngine` whose unit of
-memoization is the (design, workload) pair, so ``repro all`` evaluates
-each unique pair exactly once even though Fig. 14 and Fig. 16 revisit
-the Fig. 13 sweep and the network figures share dense layers. With
-``--cache-dir`` (or ``$REPRO_CACHE_DIR``) the pair cache also persists
-across runs.
+Artifacts are declarative specs in the
+:data:`~repro.eval.artifacts.ARTIFACTS` registry: each computes a
+structured result and renders it as ``--format text`` (default, the
+historical output), ``json``, or ``csv``. One invocation builds a
+single :class:`~repro.eval.engine.EngineContext` — estimator, memoizing
+:class:`~repro.eval.engine.SweepEngine`, ``--jobs``/``--backend``
+execution policy, optional ``--cache-dir`` persistent cache — and
+threads it through every experiment, so ``repro all`` evaluates each
+unique (design, workload) pair exactly once, in parallel if asked, and
+resumes from disk across runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.accelerators import REGISTRY, main_design_names
-from repro.dnn.models import get_model, model_names
-from repro.energy import Estimator
-from repro.errors import EvaluationError, WorkloadError
+from repro.dnn.models import (
+    get_model,
+    load_model_file,
+    model_names,
+    register_model,
+)
+from repro.errors import CacheError, EvaluationError, WorkloadError
 from repro.eval import cache as cache_mod
 from repro.eval import experiments as E
 from repro.eval import reporting as R
-from repro.eval.engine import BACKENDS, SweepEngine
-from repro.eval.runs import record_from_model_sweep, record_from_sweep
+from repro.eval.artifacts import ARTIFACTS, FORMATS, compute_artifacts
+from repro.eval.engine import (
+    BACKENDS,
+    GEOMEAN_METRICS,
+    EngineContext,
+)
+from repro.eval.runs import (
+    record_from_artifacts,
+    record_from_model_sweep,
+    record_from_sweep,
+)
 
-
-def _run_tables(estimator: Estimator) -> str:
-    sections = []
-    sections.append(
-        R.format_table(
-            ["category", "design", "sparsity tax", "degree diversity"],
-            [
-                [r["category"], r["design"], r["sparsity_tax"],
-                 r["degree_diversity"]]
-                for r in E.table1()
-            ],
-        )
-    )
-    sections.append(
-        R.format_table(
-            ["source", "conventional", "fibertree spec"],
-            [
-                [r["source"], r["conventional"], r["fibertree"]]
-                for r in E.table2()
-            ],
-        )
-    )
-    sections.append(
-        R.format_table(
-            ["design", "patterns"],
-            [[r["design"], r["patterns"]] for r in E.table3()]
-            + [[E.table3_dsso()["design"], E.table3_dsso()["patterns"]]],
-        )
-    )
-    sections.append(
-        R.format_table(
-            ["design", "GLB data (KB)", "GLB meta (KB)", "RF", "MACs"],
-            [
-                [r["design"], str(r["glb_data_kb"]),
-                 str(r["glb_meta_kb"]), str(r["rf"]), str(r["macs"])]
-                for r in E.table_4()
-            ],
-        )
-    )
-    titles = ["Table 1", "Table 2", "Table 3", "Table 4"]
-    return "\n\n".join(
-        f"{title}\n{section}" for title, section in zip(titles, sections)
-    )
-
-
-def _run_fig13(estimator: Estimator) -> str:
-    sweep = E.fig13(estimator)
-    parts = [
-        R.render_fig13(sweep, metric)
-        for metric in ("edp", "energy_pj", "cycles")
-    ]
-    geomean_tc, max_tc = sweep.gain_over("TC")
-    parts.append(
-        f"HighLight vs TC: geomean {geomean_tc:.1f}x, "
-        f"up to {max_tc:.1f}x (paper: 6.4x / 20.4x)"
-    )
-    return "\n\n".join(parts)
-
-
-def _run_fig14(estimator: Estimator) -> str:
-    return R.render_fig14(E.fig14(E.fig13(estimator)))
-
-
-ARTIFACTS: Dict[str, Callable[[Estimator], str]] = {
-    "tables": _run_tables,
-    "fig2": lambda est: R.render_fig2(E.fig2(est)),
-    "fig6": lambda est: R.render_fig6(E.fig6()),
-    "fig13": _run_fig13,
-    "fig14": _run_fig14,
-    "fig15": lambda est: R.render_fig15(E.fig15(est)),
-    "fig16": lambda est: R.render_fig16(E.fig16(est)),
-    "fig17": lambda est: R.render_fig17(E.fig17(est)),
-}
-
-#: Paper order for `all` and the report.
-ORDER = ["tables", "fig2", "fig6", "fig13", "fig14", "fig15", "fig16",
-         "fig17"]
+#: Paper order for `all` and the report (= registry registration order).
+ORDER = list(ARTIFACTS.names())
 
 #: Geomean-able sweep metrics the `sweep` subcommand can render.
-SWEEP_METRICS = ("edp", "energy_pj", "cycles", "ed2")
+SWEEP_METRICS = GEOMEAN_METRICS
+
+
+def _render_outputs(results: Dict[str, Any], fmt: str) -> str:
+    """Join rendered artifacts for printing.
+
+    ``text`` stacks sections exactly as the CLI always has; ``json``
+    emits one object keyed by artifact name; ``csv`` stacks per-
+    artifact tables behind ``# artifact:`` marker lines.
+    """
+    if fmt == "json":
+        return json.dumps(
+            {name: result.to_payload() for name, result in results.items()},
+            indent=2,
+        )
+    sections = []
+    for name, result in results.items():
+        rendered = ARTIFACTS[name].render(result, fmt)
+        if fmt == "csv":
+            rendered = f"# artifact: {name}\n{rendered}"
+        sections.append(rendered)
+    return "\n\n".join(sections)
 
 
 def run_artifacts(
     names: List[str],
-    estimator: Optional[Estimator] = None,
+    ctx: "EngineContext | None | object" = None,
     jobs: int = 1,
+    fmt: str = "text",
 ) -> str:
-    """Render the named artifacts off one shared estimator + engine."""
-    estimator = estimator or Estimator()
-    engine = SweepEngine.shared(estimator)
-    engine.jobs = max(engine.jobs, jobs)
-    outputs = []
-    for name in names:
-        outputs.append(ARTIFACTS[name](estimator))
-    return "\n\n".join(outputs)
+    """Render the named artifacts off one shared context.
+
+    ``ctx`` accepts anything
+    :meth:`~repro.eval.engine.EngineContext.coerce` does (``None``, an
+    estimator, an engine, a context).
+    """
+    ctx = EngineContext.coerce(ctx)
+    ctx.engine.jobs = max(ctx.engine.jobs, jobs)
+    return _render_outputs(compute_artifacts(names, ctx), fmt)
 
 
 def _parse_degrees(text: str) -> Tuple[float, ...]:
@@ -187,6 +154,28 @@ def _coerce_metadata_value(text: str) -> object:
     return text
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """The shared EngineContext knobs (artifact + sweep subcommands)."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="parallel evaluation workers (default 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="worker backend for --jobs > 1 (default thread; the "
+        "analytical models are pure, so processes are safe)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist (design, workload) evaluations under DIR and "
+        "reuse them across runs (also: $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write a JSON run record of this invocation",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,9 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact name(s), or 'all' for the paper order",
     )
     artifact.add_argument(
-        "--jobs", type=_positive_int, default=1, metavar="N",
-        help="parallel sweep-cell workers (default 1)",
+        "--format", choices=FORMATS, default="text", dest="fmt",
+        help="output format (default text; json/csv render each "
+        "artifact's structured payload)",
     )
+    _add_engine_options(artifact)
     artifact.add_argument(
         "--output",
         default=None,
@@ -231,6 +222,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--model", default=None, metavar="NAME",
         help="sweep a registered DNN instead of a synthetic grid "
         f"(one of: {', '.join(model_names())})",
+    )
+    sweep.add_argument(
+        "--model-file", default=None, metavar="PATH",
+        help="register a user-defined JSON layer table at runtime and "
+        "sweep it (see README for the schema)",
+    )
+    sweep.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="(--model/--model-file only) per-layer sparsity profile: "
+        "a JSON object mapping layer names to degrees (or "
+        '{"pattern": "G:H"}) that overrides --degrees per layer',
     )
     sweep.add_argument(
         "--degrees", type=_parse_degrees, default=None, metavar="D,D,...",
@@ -255,37 +257,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric", choices=SWEEP_METRICS, default="edp",
         help="metric to render (default edp)",
     )
-    sweep.add_argument(
-        "--jobs", type=_positive_int, default=1, metavar="N",
-        help="parallel evaluation workers (default 1)",
-    )
-    sweep.add_argument(
-        "--backend", choices=BACKENDS, default="thread",
-        help="worker backend for --jobs > 1 (default thread; the "
-        "analytical models are pure, so processes are safe)",
-    )
-    sweep.add_argument(
-        "--cache-dir", default=None, metavar="DIR",
-        help="persist (design, workload) evaluations under DIR and "
-        "reuse them across runs (also: $REPRO_CACHE_DIR)",
-    )
-    sweep.add_argument(
-        "--record", default=None, metavar="PATH",
-        help="write a JSON run record of this sweep",
-    )
+    _add_engine_options(sweep)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the persistent evaluation cache"
+        "cache", help="inspect, clear, or merge the persistent "
+        "evaluation cache"
     )
     cache.add_argument(
-        "action", choices=("stats", "clear"),
+        "action", choices=("stats", "clear", "merge"),
         help="'stats' prints per-fingerprint entry counts; 'clear' "
-        "deletes all cache files",
+        "deletes all cache files; 'merge' folds the DIR shards into "
+        "--cache-dir (same estimator fingerprint required)",
+    )
+    cache.add_argument(
+        "dirs", nargs="*", metavar="DIR",
+        help="(merge only) source cache directories to merge",
     )
     cache.add_argument(
         "--cache-dir", default=None, metavar="DIR",
-        help="cache directory (default: $REPRO_CACHE_DIR or "
-        "~/.cache/repro-highlight)",
+        help="cache directory to operate on (default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro-highlight)",
     )
 
     lister = sub.add_parser(
@@ -306,18 +297,6 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_artifact(args: argparse.Namespace,
-                  parser: argparse.ArgumentParser) -> int:
-    if args.output is not None:
-        parser.error(
-            "--output is only valid with the 'report' subcommand "
-            "(artifacts print to stdout)"
-        )
-    names = ORDER if "all" in args.names else list(args.names)
-    print(run_artifacts(names, jobs=args.jobs))
-    return 0
-
-
 def _resolve_cache_dir(
     explicit: Optional[str], fallback_to_default: bool = False
 ) -> Optional[str]:
@@ -333,38 +312,74 @@ def _resolve_cache_dir(
     return None
 
 
-def _build_engine(args: argparse.Namespace) -> SweepEngine:
-    engine = SweepEngine(jobs=args.jobs, backend=args.backend)
-    cache_dir = _resolve_cache_dir(args.cache_dir)
-    if cache_dir is not None:
-        engine.attach_cache(
-            cache_mod.PersistentCache.for_estimator(
-                cache_dir, engine.estimator
-            )
+def _build_context(args: argparse.Namespace) -> EngineContext:
+    """The invocation's single EngineContext, from the CLI knobs."""
+    return EngineContext.create(
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=_resolve_cache_dir(args.cache_dir),
+        record=args.record,
+    )
+
+
+def _cmd_artifact(args: argparse.Namespace,
+                  parser: argparse.ArgumentParser) -> int:
+    if args.output is not None:
+        parser.error(
+            "--output is only valid with the 'report' subcommand "
+            "(artifacts print to stdout)"
         )
-    return engine
+    names = ORDER if "all" in args.names else list(args.names)
+    ctx = _build_context(args)
+    start = time.perf_counter()
+    results = compute_artifacts(names, ctx)
+    wall_time_s = time.perf_counter() - start
+    print(_render_outputs(results, args.fmt))
+    if ctx.record_path:
+        record = record_from_artifacts(
+            command="artifact",
+            results=results,
+            engine=ctx.engine,
+            wall_time_s=wall_time_s,
+        )
+        path = record.write(ctx.record_path)
+        # stderr: stdout stays pure renderer output (json/csv piping).
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
 
 
 def _cmd_sweep_model(args: argparse.Namespace,
-                     parser: argparse.ArgumentParser) -> int:
+                     parser: argparse.ArgumentParser,
+                     model=None) -> int:
     try:
-        model = get_model(args.model)
+        # --model-file passes its model directly: re-resolving by name
+        # could hit a case-insensitive builtin (e.g. "resnet50").
+        if model is None:
+            model = get_model(args.model)
+        profile = (
+            E.load_profile(args.profile)
+            if args.profile is not None else None
+        )
     except WorkloadError as error:
         parser.error(str(error))
     design_names = (
         tuple(args.designs) if args.designs else main_design_names()
     )
-    engine = _build_engine(args)
+    ctx = _build_context(args)
     start = time.perf_counter()
-    sweep = E.sweep_model(
-        model,
-        designs=design_names,
-        degrees=args.degrees,
-        engine=engine,
-    )
+    try:
+        sweep = E.sweep_model(
+            model,
+            designs=design_names,
+            degrees=args.degrees,
+            ctx=ctx,
+            profile=profile,
+        )
+    except WorkloadError as error:
+        parser.error(str(error))
     wall_time_s = time.perf_counter() - start
     print(R.render_model_sweep(sweep))
-    stats = engine.stats
+    stats = ctx.engine.stats
     print(
         f"\n{len(design_names)} designs on {model.name}, "
         f"jobs={args.jobs} ({args.backend}): "
@@ -372,14 +387,14 @@ def _cmd_sweep_model(args: argparse.Namespace,
         f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
         f"in {wall_time_s:.2f}s"
     )
-    if args.record:
+    if ctx.record_path:
         record = record_from_model_sweep(
             command="sweep-model",
             sweep=sweep,
-            engine=engine,
+            engine=ctx.engine,
             wall_time_s=wall_time_s,
         )
-        path = record.write(args.record)
+        path = record.write(ctx.record_path)
         print(f"wrote {path}")
     return 0
 
@@ -395,6 +410,19 @@ def _cmd_sweep(args: argparse.Namespace,
                 f"unknown design {name!r}; run 'repro list' for the "
                 f"registered names"
             )
+    loaded_model = None
+    if args.model_file is not None:
+        if args.model is not None:
+            parser.error(
+                "--model and --model-file are mutually exclusive"
+            )
+        try:
+            loaded_model = register_model(
+                load_model_file(args.model_file), replace=True
+            )
+        except WorkloadError as error:
+            parser.error(str(error))
+        args.model = loaded_model.name
     if args.model is not None:
         for flag, value in (
             ("--a-degrees", args.a_degrees),
@@ -407,18 +435,23 @@ def _cmd_sweep(args: argparse.Namespace,
                     f"sweep takes its shapes from the network's layers "
                     f"(use --degrees for the weight-sparsity ladder)"
                 )
-        return _cmd_sweep_model(args, parser)
+        return _cmd_sweep_model(args, parser, model=loaded_model)
     if args.degrees is not None:
         parser.error(
             "--degrees applies to --model sweeps; use --a-degrees/"
             "--b-degrees for synthetic grids"
         )
+    if args.profile is not None:
+        parser.error(
+            "--profile applies to --model/--model-file sweeps (it "
+            "maps layer names to degrees)"
+        )
     a_degrees = args.a_degrees if args.a_degrees is not None else E.A_DEGREES
     b_degrees = args.b_degrees if args.b_degrees is not None else E.B_DEGREES
     size = args.size if args.size is not None else 1024
-    engine = _build_engine(args)
+    ctx = _build_context(args)
     start = time.perf_counter()
-    sweep = engine.sweep(
+    sweep = ctx.engine.sweep(
         designs=design_names,
         a_degrees=a_degrees,
         b_degrees=b_degrees,
@@ -436,7 +469,7 @@ def _cmd_sweep(args: argparse.Namespace,
             f"baseline ({sweep.baseline}) supports."
         )
     print(rendered)
-    stats = engine.stats
+    stats = ctx.engine.stats
     print(
         f"\n{len(design_names)} designs x {len(a_degrees)}x"
         f"{len(b_degrees)} degree grid @ {size}^3, "
@@ -445,23 +478,45 @@ def _cmd_sweep(args: argparse.Namespace,
         f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
         f"in {wall_time_s:.2f}s"
     )
-    if args.record:
+    if ctx.record_path:
         record = record_from_sweep(
             command="sweep",
             sweep=sweep,
-            engine=engine,
+            engine=ctx.engine,
             wall_time_s=wall_time_s,
             shape=(size, size, size),
         )
-        path = record.write(args.record)
+        path = record.write(ctx.record_path)
         print(f"wrote {path}")
     return 0
 
 
-def _cmd_cache(args: argparse.Namespace) -> int:
+def _cmd_cache(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
     directory = _resolve_cache_dir(
         args.cache_dir, fallback_to_default=True
     )
+    if args.action == "merge":
+        if not args.dirs:
+            parser.error(
+                "cache merge needs at least one source DIR "
+                "(merged into --cache-dir)"
+            )
+        try:
+            summary = cache_mod.merge_cache_dirs(args.dirs, directory)
+        except CacheError as error:
+            parser.error(str(error))
+        print(
+            f"merged {len(summary['sources'])} shard(s) into "
+            f"{summary['path']}: {summary['total_entries']} entries "
+            f"({summary['new_entries']} new)"
+        )
+        return 0
+    if args.dirs:
+        parser.error(
+            f"DIR arguments only apply to 'cache merge', not "
+            f"'cache {args.action}'"
+        )
     if args.action == "clear":
         removed = cache_mod.clear_cache(directory)
         print(f"removed {removed} cache file(s) from {directory}")
@@ -509,8 +564,13 @@ def _cmd_list(args: argparse.Namespace,
     print(R.format_table(
         ["name", "category", "sparsity side", "metadata"], rows
     ))
-    print(f"\nArtifacts: {' '.join(ORDER)} (plus 'all')")
-    print(f"Models (sweep --model): {' '.join(model_names())}")
+    print("\nArtifacts (formats: " + ", ".join(FORMATS) + ")")
+    print(R.format_table(
+        ["name", "title"],
+        [[info.name, info.title] for info in ARTIFACTS.infos()],
+    ))
+    print("(plus 'all' for the paper order)")
+    print(f"\nModels (sweep --model): {' '.join(model_names())}")
     return 0
 
 
@@ -533,7 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
     if args.command == "cache":
-        return _cmd_cache(args)
+        return _cmd_cache(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)
     return _cmd_report(args)

@@ -18,8 +18,10 @@ activations, the GELU/softmax transformers are nearly dense (<10%).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Tuple
 
 from repro.dnn.layers import ConvLayer, Layer, LinearLayer
 from repro.errors import WorkloadError
@@ -250,6 +252,174 @@ MODEL_BUILDERS: Dict[str, Callable[[], DnnModel]] = {
 def model_names() -> Tuple[str, ...]:
     """All registered network names, registration order."""
     return tuple(MODEL_BUILDERS)
+
+
+def register_model(model: DnnModel, replace: bool = False) -> DnnModel:
+    """Register a concrete network into :data:`MODEL_BUILDERS`.
+
+    Runtime counterpart of the module-level builders, used by
+    ``repro sweep --model-file``. Refuses to shadow an existing name
+    unless ``replace`` is set (re-registering the same file in one
+    process is legitimate; silently replacing ResNet50 is not).
+    """
+    if model.name in MODEL_BUILDERS and not replace:
+        raise WorkloadError(
+            f"model {model.name!r} is already registered; rename it "
+            f"or pass replace=True"
+        )
+    MODEL_BUILDERS[model.name] = lambda: model
+    return model
+
+
+#: Layer-table schema for user-defined models (``--model-file``):
+#: per layer kind, (required fields, optional fields).
+_LAYER_SCHEMA: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "linear": (
+        ("name", "in_features", "out_features"),
+        ("tokens", "repeats"),
+    ),
+    "conv": (
+        ("name", "in_channels", "out_channels", "kernel", "input_size"),
+        ("stride", "padding", "groups", "repeats"),
+    ),
+}
+
+#: Top-level schema: (required, optional-with-defaults).
+_MODEL_REQUIRED = ("name", "layers")
+_MODEL_OPTIONAL = ("activation_sparsity", "prunability", "prunable")
+
+
+def _check_fields(
+    entry: Mapping[str, Any],
+    required: Tuple[str, ...],
+    optional: Tuple[str, ...],
+    where: str,
+) -> None:
+    missing = sorted(set(required) - set(entry))
+    unknown = sorted(set(entry) - set(required) - set(optional))
+    problems = []
+    if missing:
+        problems.append(f"missing field(s): {', '.join(missing)}")
+    if unknown:
+        problems.append(f"unknown field(s): {', '.join(unknown)}")
+    if problems:
+        raise WorkloadError(
+            f"{where}: {'; '.join(problems)} "
+            f"(required: {', '.join(required)}; optional: "
+            f"{', '.join(optional) or 'none'})"
+        )
+
+
+def _layer_from_dict(entry: Any, index: int) -> Layer:
+    where = f"layer {index}"
+    if not isinstance(entry, dict):
+        raise WorkloadError(f"{where}: expected an object, got {entry!r}")
+    kind = entry.get("type")
+    if kind not in _LAYER_SCHEMA:
+        raise WorkloadError(
+            f"{where}: bad or missing 'type' {kind!r}; expected one "
+            f"of: {', '.join(_LAYER_SCHEMA)}"
+        )
+    required, optional = _LAYER_SCHEMA[kind]
+    fields = {key: value for key, value in entry.items() if key != "type"}
+    _check_fields(fields, required, optional, f"{where} ({kind})")
+    name = fields.pop("name")
+    if not isinstance(name, str) or not name:
+        raise WorkloadError(f"{where}: 'name' must be a non-empty string")
+    for key, value in fields.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise WorkloadError(
+                f"{where} ({name!r}): {key} must be an integer, "
+                f"got {value!r}"
+            )
+    cls = LinearLayer if kind == "linear" else ConvLayer
+    return cls(name, **fields)
+
+
+def model_from_dict(data: Any) -> DnnModel:
+    """Build a :class:`DnnModel` from a plain layer-table dict.
+
+    Validates the schema with errors that list the missing/unknown
+    fields and the allowed set; layer shape constraints (positive
+    sizes, divisible groups) are enforced by the layer constructors.
+    """
+    if not isinstance(data, dict):
+        raise WorkloadError(
+            f"model table must be a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    _check_fields(data, _MODEL_REQUIRED, _MODEL_OPTIONAL, "model table")
+    name = data["name"]
+    if not isinstance(name, str) or not name:
+        raise WorkloadError("model table: 'name' must be a non-empty string")
+    raw_layers = data["layers"]
+    if not isinstance(raw_layers, list) or not raw_layers:
+        raise WorkloadError(
+            "model table: 'layers' must be a non-empty list"
+        )
+    layers = tuple(
+        _layer_from_dict(entry, index)
+        for index, entry in enumerate(raw_layers)
+    )
+    names = [layer.name for layer in layers]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise WorkloadError(
+            f"model table: duplicate layer name(s): "
+            f"{', '.join(duplicates)}"
+        )
+    prunable = data.get("prunable", names)
+    if (
+        not isinstance(prunable, list)
+        or not all(isinstance(n, str) for n in prunable)
+    ):
+        raise WorkloadError(
+            "model table: 'prunable' must be a list of layer names"
+        )
+    unknown = sorted(set(prunable) - set(names))
+    if unknown:
+        raise WorkloadError(
+            f"model table: 'prunable' names unknown layer(s): "
+            f"{', '.join(unknown)}"
+        )
+    activation_sparsity = data.get("activation_sparsity", 0.0)
+    prunability = data.get("prunability", 0.5)
+    for key, value in (
+        ("activation_sparsity", activation_sparsity),
+        ("prunability", prunability),
+    ):
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or not 0.0 <= float(value) < 1.0
+        ):
+            raise WorkloadError(
+                f"model table: {key} must be a number in [0, 1), "
+                f"got {value!r}"
+            )
+    return DnnModel(
+        name=name,
+        layers=layers,
+        prunable=tuple(prunable),
+        activation_sparsity=float(activation_sparsity),
+        prunability=float(prunability),
+    )
+
+
+def load_model_file(path: "str | Path") -> DnnModel:
+    """Read a user-defined layer table from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise WorkloadError(f"cannot read model file {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise WorkloadError(
+            f"model file {path} is not valid JSON: {error}"
+        )
+    try:
+        return model_from_dict(data)
+    except WorkloadError as error:
+        raise WorkloadError(f"model file {path}: {error}")
 
 
 def get_model(name: str) -> DnnModel:

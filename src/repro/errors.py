@@ -58,3 +58,8 @@ class PruningError(ReproError):
 
 class EvaluationError(ReproError):
     """An experiment harness failure (unknown experiment, bad sweep)."""
+
+
+class CacheError(ReproError):
+    """A persistent-cache operation failed (e.g. merging cache
+    directories whose estimator fingerprints disagree)."""

@@ -1,0 +1,278 @@
+"""The declarative artifact registry: paper figures/tables as specs.
+
+Mirrors :mod:`repro.accelerators.registry`: each artifact registers a
+``compute(ctx) -> result`` function under its name via the
+:func:`artifact` decorator, together with the structured result type it
+produces and its text renderer. Computation and presentation are fully
+separated — ``compute`` returns a result dataclass with a uniform
+``to_payload()``, and :func:`render` turns any result into ``text``
+(byte-identical to the historical CLI output), ``json`` (the payload),
+or ``csv`` (the payload's ``rows``).
+
+Because every ``compute`` takes one
+:class:`~repro.eval.engine.EngineContext`, a whole ``repro all``
+invocation shares a single memoizing engine — and therefore inherits
+parallel workers, the persistent cache, and run recording without any
+artifact-specific wiring.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.eval import experiments as E
+from repro.eval import reporting as R
+from repro.eval.engine import EngineContext, SweepResult
+
+#: Output formats every artifact supports.
+FORMATS = ("text", "json", "csv")
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One registered artifact: its compute spec and renderers."""
+
+    name: str
+    compute: Callable[[EngineContext], Any]
+    #: The structured result type ``compute`` returns (also how
+    #: :func:`render` finds the text renderer for a bare result).
+    result_type: type
+    #: Renders the result as the historical CLI text output.
+    render_text: Callable[[Any], str]
+    #: One-line description for listings.
+    title: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self, result: Any, fmt: str = "text") -> str:
+        """The result in one of the supported output formats."""
+        if fmt == "text":
+            return self.render_text(result)
+        if fmt == "json":
+            return json.dumps(result.to_payload(), indent=2)
+        if fmt == "csv":
+            return _payload_csv(result.to_payload())
+        raise EvaluationError(
+            f"unknown format {fmt!r}; supported: {', '.join(FORMATS)}"
+        )
+
+
+class ArtifactRegistry:
+    """An ordered, dict-like name -> :class:`ArtifactInfo` mapping.
+
+    Iteration yields names in registration order (the paper order), so
+    the registry drops into every place the old ``ARTIFACTS`` dict of
+    closures was used.
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[str, ArtifactInfo] = {}
+
+    def register(self, info: ArtifactInfo) -> ArtifactInfo:
+        if info.name in self._artifacts:
+            raise EvaluationError(
+                f"artifact already registered: {info.name!r}"
+            )
+        self._artifacts[info.name] = info
+        return info
+
+    def __getitem__(self, name: str) -> ArtifactInfo:
+        try:
+            return self._artifacts[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown artifact {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def get(self, name: str) -> Optional[ArtifactInfo]:
+        return self._artifacts.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._artifacts)
+
+    def infos(self) -> Tuple[ArtifactInfo, ...]:
+        return tuple(self._artifacts.values())
+
+    def for_result(self, result: Any) -> ArtifactInfo:
+        """The artifact whose ``result_type`` is ``type(result)``."""
+        for info in self._artifacts.values():
+            if info.result_type is type(result):
+                return info
+        raise EvaluationError(
+            f"no registered artifact produces "
+            f"{type(result).__name__} results"
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._artifacts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._artifacts)
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+
+#: The process-wide artifact registry (paper order).
+ARTIFACTS = ArtifactRegistry()
+
+
+def artifact(
+    name: str,
+    result_type: type,
+    text: Callable[[Any], str],
+    title: str = "",
+    registry: Optional[ArtifactRegistry] = None,
+    **metadata: Any,
+) -> Callable[[Callable[[EngineContext], Any]], ArtifactInfo]:
+    """Decorator: register ``compute(ctx)`` as the named artifact.
+
+    ::
+
+        @artifact("fig13", SweepResult, text=_fig13_text,
+                  title="Fig. 13 — synthetic sparsity sweep")
+        def fig13(ctx):
+            return E.fig13(ctx)
+
+    The decorated name is bound to the :class:`ArtifactInfo` (specs are
+    invoked through the registry, not called directly).
+    """
+    target = registry if registry is not None else ARTIFACTS
+
+    def decorator(compute: Callable[[EngineContext], Any]) -> ArtifactInfo:
+        return target.register(
+            ArtifactInfo(
+                name=name,
+                compute=compute,
+                result_type=result_type,
+                render_text=text,
+                title=title,
+                metadata=dict(metadata),
+            )
+        )
+
+    return decorator
+
+
+def render(result: Any, fmt: str = "text") -> str:
+    """Render any artifact result in one of :data:`FORMATS`.
+
+    ``text`` dispatches on the result's type to the registered text
+    renderer; ``json``/``csv`` go through the result's uniform
+    ``to_payload()``.
+    """
+    return ARTIFACTS.for_result(result).render(result, fmt)
+
+
+def _payload_csv(payload: Dict[str, Any]) -> str:
+    """The payload's ``rows`` as CSV (headers in first-seen order;
+    rows missing a column leave the cell empty)."""
+    rows = payload.get("rows", [])
+    headers: list = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(
+            [_csv_cell(row.get(key)) for key in headers]
+        )
+    return out.getvalue().rstrip("\n")
+
+
+def _csv_cell(value: Any) -> Any:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return value
+
+
+# ----------------------------------------------------------------------
+# The paper's artifacts, registration order = paper order.
+# ----------------------------------------------------------------------
+
+
+def _fig13_text(sweep: SweepResult) -> str:
+    parts = [
+        R.render_fig13(sweep, metric)
+        for metric in ("edp", "energy_pj", "cycles")
+    ]
+    geomean_tc, max_tc = sweep.gain_over("TC")
+    parts.append(
+        f"HighLight vs TC: geomean {geomean_tc:.1f}x, "
+        f"up to {max_tc:.1f}x (paper: 6.4x / 20.4x)"
+    )
+    return "\n\n".join(parts)
+
+
+@artifact("tables", E.TablesResult, text=R.render_tables,
+          title="Tables 1-4 — categories, patterns, resources")
+def _tables(ctx: EngineContext) -> E.TablesResult:
+    return E.tables(ctx)
+
+
+@artifact("fig2", E.Fig2Result, text=R.render_fig2,
+          title="Fig. 2 — accuracy-matched motivational comparison")
+def _fig2(ctx: EngineContext) -> E.Fig2Result:
+    return E.fig2(ctx)
+
+
+@artifact("fig6", E.Fig6Result, text=R.render_fig6,
+          title="Fig. 6 — one-rank S vs two-rank SS designs")
+def _fig6(ctx: EngineContext) -> E.Fig6Result:
+    return E.fig6(ctx)
+
+
+@artifact("fig13", SweepResult, text=_fig13_text,
+          title="Fig. 13 — synthetic sparsity sweep")
+def _fig13(ctx: EngineContext) -> SweepResult:
+    return E.fig13(ctx)
+
+
+@artifact("fig14", E.Fig14Result, text=R.render_fig14,
+          title="Fig. 14 — geomean normalized metrics")
+def _fig14(ctx: EngineContext) -> E.Fig14Result:
+    # Regenerating the Fig. 13 sweep is free under the shared context.
+    return E.fig14(E.fig13(ctx))
+
+
+@artifact("fig15", E.Fig15Result, text=R.render_fig15,
+          title="Fig. 15 — EDP vs accuracy-loss Pareto frontiers")
+def _fig15(ctx: EngineContext) -> E.Fig15Result:
+    return E.fig15(ctx)
+
+
+@artifact("fig16", E.Fig16Result, text=R.render_fig16,
+          title="Fig. 16 — sparsity tax (energy + area breakdown)")
+def _fig16(ctx: EngineContext) -> E.Fig16Result:
+    return E.fig16(ctx)
+
+
+@artifact("fig17", E.Fig17Result, text=R.render_fig17,
+          title="Fig. 17 — dual-side HSS (DSSO) processing speed")
+def _fig17(ctx: EngineContext) -> E.Fig17Result:
+    return E.fig17(ctx)
+
+
+def compute_artifacts(
+    names: "Tuple[str, ...] | list",
+    ctx: Optional[EngineContext] = None,
+) -> Dict[str, Any]:
+    """Compute the named artifacts under one shared context, in order.
+
+    Returns name -> structured result (render separately with
+    :func:`render`). Unknown names raise ``KeyError`` before anything
+    is evaluated.
+    """
+    ctx = EngineContext.coerce(ctx)
+    specs = [ARTIFACTS[name] for name in names]
+    return {spec.name: spec.compute(ctx) for spec in specs}

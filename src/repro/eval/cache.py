@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.energy.estimator import Estimator
+from repro.errors import CacheError
 from repro.model.metrics import Metrics
 from repro.model.workload import WorkloadKey
 from repro.serialization import metrics_from_dict, metrics_to_dict
@@ -284,3 +285,108 @@ def clear_cache(directory: "str | Path") -> int:
     for path in files:
         path.unlink()
     return len(files)
+
+
+def _read_raw_cache(path: Path) -> Dict[str, Any]:
+    """One cache file's raw payload — loud, unlike the best-effort
+    runtime reads: merging should never silently drop a shard."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CacheError(f"cannot read cache file {path}: {error}")
+    if data.get("schema_version") != CACHE_SCHEMA_VERSION:
+        raise CacheError(
+            f"{path} has cache schema "
+            f"{data.get('schema_version')!r}; this version reads "
+            f"schema {CACHE_SCHEMA_VERSION}"
+        )
+    if data.get("fingerprint", path.stem) != path.stem:
+        raise CacheError(
+            f"{path} records fingerprint {data.get('fingerprint')!r} "
+            f"but is named {path.stem!r}"
+        )
+    return data
+
+
+def merge_cache_dirs(
+    sources: "Tuple[str | Path, ...] | list",
+    dest: "str | Path",
+) -> Dict[str, Any]:
+    """Merge the cache files of ``sources`` into ``dest`` (one file).
+
+    This is the fan-in step of a sharded grid fill: N workers each run
+    with their own ``--cache-dir`` against the *same* estimator, then
+    their directories are merged into one warm cache. All source
+    directories must therefore hold exactly one, identical estimator
+    fingerprint — mixing fingerprints would silently interleave
+    incompatible cost models, so it raises
+    :class:`~repro.errors.CacheError` instead. Entries are content-
+    keyed, so overlapping shards merge idempotently; an existing
+    ``dest`` file of the same fingerprint is merged under the sources.
+
+    Returns a summary dict (``fingerprint``, ``path``, per-source and
+    total entry counts, how many were new to ``dest``).
+    """
+    per_dir: Dict[str, Tuple[Path, ...]] = {}
+    for source in sources:
+        files = cache_files(source)
+        if not files:
+            raise CacheError(
+                f"no cache files under {source} (expected "
+                f"<fingerprint>.json; is this a --cache-dir?)"
+            )
+        per_dir[str(source)] = files
+    fingerprints = {
+        path.stem for files in per_dir.values() for path in files
+    }
+    if len(fingerprints) != 1 or any(
+        len(files) != 1 for files in per_dir.values()
+    ):
+        detail = "; ".join(
+            f"{source}: {', '.join(path.stem for path in files)}"
+            for source, files in per_dir.items()
+        )
+        raise CacheError(
+            f"refusing to merge caches with mismatched estimator "
+            f"fingerprints ({detail}); merge shards produced by the "
+            f"same estimator, one fingerprint per directory"
+        )
+    fingerprint = fingerprints.pop()
+    merged: Dict[str, Any] = {}
+    source_counts: Dict[str, int] = {}
+    for source, files in per_dir.items():
+        entries = _read_raw_cache(files[0]).get("entries", {})
+        source_counts[source] = len(entries)
+        merged.update(entries)
+    dest_dir = Path(dest)
+    dest_path = dest_dir / f"{fingerprint}.json"
+    existing = 0
+    if dest_path.is_file():
+        dest_entries = _read_raw_cache(dest_path).get("entries", {})
+        existing = len(dest_entries)
+        for digest, entry in dest_entries.items():
+            merged.setdefault(digest, entry)
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "fingerprint": fingerprint,
+        "entries": merged,
+    }
+    fd, tmp = tempfile.mkstemp(
+        dir=dest_dir, prefix=".cache-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, dest_path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return {
+        "fingerprint": fingerprint,
+        "path": str(dest_path),
+        "sources": source_counts,
+        "total_entries": len(merged),
+        "new_entries": len(merged) - existing,
+    }

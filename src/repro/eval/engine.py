@@ -26,7 +26,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.accelerators import REGISTRY, main_design_names
 from repro.accelerators.base import AcceleratorDesign
@@ -46,6 +46,10 @@ from repro.utils import geomean
 #: The paper's synthetic Fig. 13 sparsity grid.
 DEFAULT_A_DEGREES: Tuple[float, ...] = (0.0, 0.5, 0.75)
 DEFAULT_B_DEGREES: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
+
+#: The geomean-able sweep metrics (Fig. 14's bars, run-record
+#: geomeans, payloads, and the CLI's --metric choices).
+GEOMEAN_METRICS: Tuple[str, ...] = ("edp", "energy_pj", "cycles", "ed2")
 
 #: (design name, workload content key) — the memoization key.
 PairKey = Tuple[str, WorkloadKey]
@@ -162,6 +166,50 @@ class SweepResult:
                 values.append(value)
             out[design] = geomean(values)
         return out
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-ready structured view of this sweep: one row per
+        (cell, design) with raw metrics, plus per-design geomeans when
+        the baseline covers the whole grid."""
+        rows: List[Dict[str, Any]] = []
+        for (sparsity_a, sparsity_b), per_design in sorted(
+            self.cells.items()
+        ):
+            for design in self.design_order:
+                metrics = per_design[design]
+                row: Dict[str, Any] = {
+                    "design": design,
+                    "sparsity_a": sparsity_a,
+                    "sparsity_b": sparsity_b,
+                }
+                if metrics is None:
+                    row.update(
+                        cycles=None, energy_pj=None, edp=None,
+                        utilization=None, supported=False, swapped=None,
+                    )
+                else:
+                    row.update(
+                        cycles=metrics.cycles,
+                        energy_pj=metrics.energy_pj,
+                        edp=metrics.edp,
+                        utilization=metrics.utilization,
+                        supported=metrics.supported,
+                        swapped=metrics.swapped,
+                    )
+                rows.append(row)
+        payload: Dict[str, Any] = {
+            "designs": list(self.design_order),
+            "baseline": self.baseline,
+            "rows": rows,
+        }
+        try:
+            payload["geomeans"] = {
+                metric: self.geomeans(metric)
+                for metric in GEOMEAN_METRICS
+            }
+        except EvaluationError:
+            pass  # baseline absent from a cell: raw metrics only
+        return payload
 
     def gain_over(
         self, other_design: str, metric: str = "edp",
@@ -470,3 +518,88 @@ class SweepEngine:
         return SweepResult(
             cells=table, design_order=names, baseline=baseline
         )
+
+
+@dataclass
+class EngineContext:
+    """Everything an experiment needs to evaluate workloads.
+
+    One context wraps one :class:`SweepEngine` (which owns the
+    estimator, the jobs/backend execution policy, and any attached
+    persistent cache) plus invocation-level settings such as the run
+    record destination. The CLI constructs a context once per
+    invocation and threads it through every experiment, so all
+    artifacts/sweeps of a run share a single memoization domain.
+
+    Experiments accept looser inputs for convenience — ``None``, a bare
+    :class:`~repro.energy.estimator.Estimator`, or a
+    :class:`SweepEngine` — and normalize them via :meth:`coerce`.
+    """
+
+    engine: SweepEngine
+    #: Where the CLI writes this invocation's run record (``--record``).
+    record_path: Optional[str] = None
+
+    @property
+    def estimator(self) -> Estimator:
+        return self.engine.estimator
+
+    @property
+    def jobs(self) -> int:
+        return self.engine.jobs
+
+    @property
+    def backend(self) -> str:
+        return self.engine.backend
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """The persistent cache directory, when one is attached."""
+        if self.engine.persistent is None:
+            return None
+        return str(self.engine.persistent.directory)
+
+    @classmethod
+    def create(
+        cls,
+        estimator: Optional[Estimator] = None,
+        jobs: int = 1,
+        backend: str = "thread",
+        cache_dir: "Optional[str]" = None,
+        record: Optional[str] = None,
+    ) -> "EngineContext":
+        """Build a context from invocation settings (the CLI path)."""
+        engine = SweepEngine(estimator, jobs=jobs, backend=backend)
+        if cache_dir is not None:
+            engine.attach_cache(
+                cache_mod.PersistentCache.for_estimator(
+                    cache_dir, engine.estimator
+                )
+            )
+        return cls(engine=engine, record_path=record)
+
+    @classmethod
+    def coerce(cls, ctx: "ContextLike") -> "EngineContext":
+        """Normalize any accepted context-like value.
+
+        ``None`` yields a fresh single-use context; an ``Estimator``
+        yields the context of its shared engine (so repeated calls on
+        one estimator keep deduplicating); engines and contexts pass
+        through.
+        """
+        if ctx is None:
+            return cls(engine=SweepEngine())
+        if isinstance(ctx, EngineContext):
+            return ctx
+        if isinstance(ctx, SweepEngine):
+            return cls(engine=ctx)
+        if isinstance(ctx, Estimator):
+            return cls(engine=SweepEngine.shared(ctx))
+        raise EvaluationError(
+            f"cannot build an EngineContext from {type(ctx).__name__}; "
+            f"pass an EngineContext, SweepEngine, Estimator, or None"
+        )
+
+
+#: What experiments accept where a context is expected.
+ContextLike = Union[None, EngineContext, SweepEngine, Estimator]

@@ -1,28 +1,41 @@
 """The experiment registry: one function per paper figure/table.
 
-Every function is pure computation returning a structured result object;
-:mod:`repro.eval.reporting` renders them as the rows/series the paper
-reports, and ``benchmarks/`` wraps them for pytest-benchmark.
+Every function is pure computation returning a structured result object
+with a uniform ``to_payload()``; :mod:`repro.eval.reporting` renders
+them as the rows/series the paper reports,
+:mod:`repro.eval.artifacts` exposes them behind the declarative
+artifact registry, and ``benchmarks/`` wraps them for pytest-benchmark.
+
+Each experiment takes one ``ctx`` argument — an
+:class:`~repro.eval.engine.EngineContext` (or anything
+:meth:`~repro.eval.engine.EngineContext.coerce` accepts: ``None``, a
+bare estimator, or an engine) — which carries the estimator, the
+memoizing engine, and the execution policy end-to-end.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.accelerators import REGISTRY, all_designs, main_design_names
 from repro.accelerators.base import AcceleratorDesign
 from repro.arch import area_breakdown, table4
 from repro.arch.area import AreaModel
 from repro.dnn.models import DnnModel, all_models
-from repro.energy.estimator import Estimator
+from repro.errors import WorkloadError
 from repro.eval.engine import (
     DEFAULT_A_DEGREES,
     DEFAULT_B_DEGREES,
+    GEOMEAN_METRICS,
     Cell,
+    ContextLike,
+    EngineContext,
     Pair,
-    SweepEngine,
     SweepResult,
 )
 from repro.eval.harness import best_metrics, workload_for_layer
@@ -73,20 +86,19 @@ def _bucket(component: str) -> str:
 
 
 def fig13(
-    estimator: Optional[Estimator] = None,
+    ctx: ContextLike = None,
     size: int = 1024,
     a_degrees: Sequence[float] = A_DEGREES,
     b_degrees: Sequence[float] = B_DEGREES,
-    engine: Optional[SweepEngine] = None,
 ) -> SweepResult:
     """Fig. 13: latency/energy/EDP over the synthetic sparsity grid.
 
-    The grid runs through the per-estimator shared :class:`SweepEngine`
-    (or an explicitly supplied one), so repeated calls with the same
-    estimator — ``repro all`` regenerating Fig. 14 from the Fig. 13
-    sweep — never re-evaluate a cell.
+    The grid runs through the context's memoizing engine (an estimator
+    coerces to its shared engine), so repeated calls under one context —
+    ``repro all`` regenerating Fig. 14 from the Fig. 13 sweep — never
+    re-evaluate a cell.
     """
-    engine = engine or SweepEngine.shared(estimator)
+    engine = EngineContext.coerce(ctx).engine
     return engine.sweep(
         designs=main_design_names(),
         a_degrees=a_degrees,
@@ -95,13 +107,34 @@ def fig13(
     )
 
 
-def fig14(result: Optional[SweepResult] = None) -> Dict[str, Dict[str, float]]:
+@dataclass(frozen=True)
+class Fig14Result:
+    """Fig. 14: geomean normalized metrics per design."""
+
+    #: metric -> design -> geomean of the design/baseline ratio.
+    geomeans: Dict[str, Dict[str, float]]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rows": [
+                {"metric": metric, "design": design, "geomean": value}
+                for metric, per_design in self.geomeans.items()
+                for design, value in per_design.items()
+            ],
+        }
+
+
+def fig14(
+    result: Optional[SweepResult] = None, ctx: ContextLike = None
+) -> Fig14Result:
     """Fig. 14: geomean normalized EDP / energy / latency / ED^2."""
-    result = result or fig13()
-    return {
-        metric: result.geomeans(metric)
-        for metric in ("edp", "energy_pj", "cycles", "ed2")
-    }
+    result = result if result is not None else fig13(ctx)
+    return Fig14Result(
+        geomeans={
+            metric: result.geomeans(metric)
+            for metric in GEOMEAN_METRICS
+        }
+    )
 
 
 # ----------------------------------------------------------------------
@@ -125,22 +158,123 @@ class ModelEvaluation:
         return self.total_energy_pj * self.total_cycles
 
 
+#: A per-layer weight-sparsity override: layer name -> degree.
+SparsityProfile = Dict[str, float]
+
+
+def _profile_degree(value: object, layer: str) -> float:
+    """One profile entry normalized to a sparsity degree.
+
+    Accepts a bare degree, ``{"degree": d}``, or ``{"pattern": "G:H"}``
+    (whose scheduled degree is ``1 - G/H``; realization then picks the
+    design-native structure for that degree, as everywhere else).
+    """
+    if isinstance(value, dict):
+        unknown = set(value) - {"degree", "pattern"}
+        if unknown:
+            raise WorkloadError(
+                f"profile entry {layer!r}: unknown field(s) "
+                f"{', '.join(sorted(unknown))}; allowed: degree, pattern"
+            )
+        if ("degree" in value) == ("pattern" in value):
+            raise WorkloadError(
+                f"profile entry {layer!r}: give exactly one of "
+                f"'degree' or 'pattern'"
+            )
+        if "pattern" in value:
+            match = re.fullmatch(
+                r"\s*(\d+)\s*:\s*(\d+)\s*", str(value["pattern"])
+            )
+            if not match:
+                raise WorkloadError(
+                    f"profile entry {layer!r}: bad pattern "
+                    f"{value['pattern']!r}; expected 'G:H' (e.g. '2:4')"
+                )
+            g, h = int(match.group(1)), int(match.group(2))
+            if not 0 < g <= h:
+                raise WorkloadError(
+                    f"profile entry {layer!r}: pattern needs 0 < G <= H, "
+                    f"got {g}:{h}"
+                )
+            return 1.0 - g / h
+        value = value["degree"]
+    try:
+        degree = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise WorkloadError(
+            f"profile entry {layer!r}: expected a sparsity degree, "
+            f"got {value!r}"
+        )
+    if not 0.0 <= degree < 1.0:
+        raise WorkloadError(
+            f"profile entry {layer!r}: degree must be in [0, 1), "
+            f"got {degree}"
+        )
+    return degree
+
+
+def load_profile(path: "str | Path") -> SparsityProfile:
+    """Read a per-layer sparsity profile from a JSON file.
+
+    The file maps layer names to degrees (or ``{"degree": ...}`` /
+    ``{"pattern": "G:H"}`` objects); :func:`validate_profile` checks
+    the names against a concrete model.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise WorkloadError(f"cannot read profile {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise WorkloadError(f"profile {path} is not valid JSON: {error}")
+    if not isinstance(data, dict) or not data:
+        raise WorkloadError(
+            f"profile {path} must be a non-empty JSON object mapping "
+            f"layer names to sparsity degrees"
+        )
+    return {
+        str(layer): _profile_degree(value, str(layer))
+        for layer, value in data.items()
+    }
+
+
+def validate_profile(
+    model: DnnModel, profile: Mapping[str, float]
+) -> None:
+    """Reject profile entries naming layers the model does not have."""
+    known = {layer.name for layer in model.layers}
+    unknown = sorted(set(profile) - known)
+    if unknown:
+        raise WorkloadError(
+            f"profile names unknown {model.name} layer(s): "
+            f"{', '.join(unknown)}; known layers: "
+            f"{', '.join(layer.name for layer in model.layers)}"
+        )
+
+
 def _model_pairs(
-    design_name: str, model: DnnModel, weight_sparsity: float
+    design_name: str,
+    model: DnnModel,
+    weight_sparsity: float,
+    profile: Optional[Mapping[str, float]] = None,
 ) -> Tuple[List[Pair], List[Tuple[object, int]]]:
     """Realize every layer of ``model`` into its candidate workloads.
 
     Returns the flat (design, workload) pair list for the engine plus
     per-layer spans for reassembly. Prunable layers carry the requested
     weight sparsity; other layers stay dense — which is why dense
-    layers deduplicate across every degree of a sweep.
+    layers deduplicate across every degree of a sweep. A ``profile``
+    overrides the degree per named layer (prunable or not), so one
+    sweep point can mix degrees across the network.
     """
     pairs: List[Pair] = []
     spans: List[Tuple[object, int]] = []
     for layer in model.layers:
-        layer_sparsity = (
-            weight_sparsity if layer.name in model.prunable else 0.0
-        )
+        if profile is not None and layer.name in profile:
+            layer_sparsity = profile[layer.name]
+        else:
+            layer_sparsity = (
+                weight_sparsity if layer.name in model.prunable else 0.0
+            )
         candidates = workload_for_layer(
             design_name,
             layer.gemm_shape(),
@@ -186,20 +320,25 @@ def evaluate_model(
     design: AcceleratorDesign,
     model: DnnModel,
     weight_sparsity: float,
-    estimator: Optional[Estimator] = None,
-    engine: Optional[SweepEngine] = None,
+    ctx: ContextLike = None,
+    profile: Optional[SparsityProfile] = None,
 ) -> Optional[ModelEvaluation]:
     """Evaluate every GEMM layer of a network on one design.
 
-    All candidate realizations are routed through the (shared)
-    :class:`SweepEngine`, so repeated layer shapes — within this call,
-    across degrees, and across experiments on the same estimator — are
+    All candidate realizations are routed through the context's
+    memoizing engine, so repeated layer shapes — within this call,
+    across degrees, and across experiments under the same context — are
     evaluated exactly once. Returns ``None`` when any layer has no
     supported realization (e.g. S2TA facing a purely dense layer —
-    Sec. 7.3).
+    Sec. 7.3). ``profile`` overrides the weight-sparsity degree for the
+    layers it names.
     """
-    engine = engine or SweepEngine.shared(estimator)
-    pairs, spans = _model_pairs(design.name, model, weight_sparsity)
+    engine = EngineContext.coerce(ctx).engine
+    if profile is not None:
+        validate_profile(model, profile)
+    pairs, spans = _model_pairs(
+        design.name, model, weight_sparsity, profile
+    )
     results = engine.evaluate_workloads(pairs)
     return _assemble_model_evaluation(
         design.name, model, weight_sparsity, spans, results
@@ -274,13 +413,49 @@ class ModelSweepResult:
             return None
         return evaluation.edp / base.edp
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready structured view: one row per (design, degree)
+        network total, plus the resolved grid."""
+        rows: List[Dict[str, Any]] = []
+        for design, degree, evaluation in self.rows():
+            row: Dict[str, Any] = {
+                "design": design,
+                "weight_sparsity": degree,
+            }
+            if evaluation is None:
+                row.update(
+                    cycles=None, energy_pj=None, edp=None,
+                    normalized_edp=None, layers=None,
+                )
+            else:
+                row.update(
+                    cycles=evaluation.total_cycles,
+                    energy_pj=evaluation.total_energy_pj,
+                    edp=evaluation.edp,
+                    normalized_edp=self.normalized_edp(design, degree),
+                    layers=len(evaluation.per_layer),
+                )
+            rows.append(row)
+        return {
+            "model": self.model,
+            "designs": list(self.design_order),
+            "degrees": {
+                design: list(degrees)
+                for design, degrees in self.degrees.items()
+            },
+            "baseline": (
+                None if self.baseline is None else list(self.baseline)
+            ),
+            "rows": rows,
+        }
+
 
 def sweep_model(
     model: DnnModel,
     designs: Optional[Sequence[str]] = None,
     degrees: Optional[Sequence[float]] = None,
-    estimator: Optional[Estimator] = None,
-    engine: Optional[SweepEngine] = None,
+    ctx: ContextLike = None,
+    profile: Optional[SparsityProfile] = None,
 ) -> ModelSweepResult:
     """Sweep one network over designs x weight-sparsity degrees.
 
@@ -289,9 +464,12 @@ def sweep_model(
     into candidate workloads and the whole sweep is submitted to the
     engine as **one batch**, so parallelism spans the entire network
     sweep and dense layers (identical at every degree) are evaluated
-    once. ``degrees`` overrides every design's default ladder.
+    once. ``degrees`` overrides every design's default ladder; a
+    ``profile`` pins named layers to their own degrees at every point.
     """
-    engine = engine or SweepEngine.shared(estimator)
+    engine = EngineContext.coerce(ctx).engine
+    if profile is not None:
+        validate_profile(model, profile)
     design_order = tuple(designs) if designs else main_design_names()
     per_design: Dict[str, Tuple[float, ...]] = {
         name: tuple(degrees) if degrees is not None else design_ladder(name)
@@ -306,7 +484,9 @@ def sweep_model(
     all_pairs: List[Pair] = []
     for design_name in design_order:
         for degree in per_design[design_name]:
-            pairs, spans = _model_pairs(design_name, model, degree)
+            pairs, spans = _model_pairs(
+                design_name, model, degree, profile
+            )
             items.append((design_name, degree, spans, len(pairs)))
             all_pairs.extend(pairs)
     results = engine.evaluate_workloads(all_pairs)
@@ -375,19 +555,38 @@ class Fig2Result:
     #: model -> design -> per-layer normalized EDP (paper's bars)
     per_layer: Dict[str, Dict[str, List[float]]]
 
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rows": [
+                {
+                    "model": model,
+                    "design": design,
+                    "weight_sparsity": sparsity,
+                    "normalized_edp": edp,
+                }
+                for model, per_design in self.results.items()
+                for design, (sparsity, edp) in per_design.items()
+            ],
+            "per_layer": {
+                model: {
+                    design: list(values)
+                    for design, values in per_design.items()
+                }
+                for model, per_design in self.per_layer.items()
+            },
+        }
 
-def fig2(
-    estimator: Optional[Estimator] = None,
-    engine: Optional[SweepEngine] = None,
-) -> Fig2Result:
+
+def fig2(ctx: ContextLike = None) -> Fig2Result:
     """Fig. 2: TC/STC/DSTC/HighLight on pruned Transformer-Big and
     ResNet50, accuracy matched within 0.5%.
 
-    Every layer evaluation routes through the shared engine, so the
+    Every layer evaluation routes through the context's engine, so the
     dense layers revisited by Fig. 15 (and by the TC baselines of both
     models) are cache hits, not re-evaluations.
     """
-    engine = engine or SweepEngine.shared(estimator)
+    ctx = EngineContext.coerce(ctx)
+    engine = ctx.engine
     designs = {
         name: engine.design(name)
         for name in ("TC", "STC", "DSTC", "HighLight")
@@ -406,15 +605,13 @@ def fig2(
                 model, DESIGN_LADDERS["HighLight"][0], 1.04
             ),
         }
-        baseline = evaluate_model(
-            designs["TC"], model, 0.0, engine=engine
-        )
+        baseline = evaluate_model(designs["TC"], model, 0.0, ctx)
         assert baseline is not None
         results[model_name] = {}
         per_layer_out[model_name] = {}
         for design_name, design in designs.items():
             evaluation = evaluate_model(
-                design, model, degrees[design_name], engine=engine
+                design, model, degrees[design_name], ctx
             )
             if evaluation is None:
                 continue
@@ -467,6 +664,29 @@ class Fig15Result:
             if p.design == "HighLight"
         )
 
+    def to_payload(self) -> Dict[str, Any]:
+        rows: List[Dict[str, Any]] = []
+        for model, points in self.points.items():
+            frontier = self.frontier(model)
+            for point in points:
+                rows.append(
+                    {
+                        "model": model,
+                        "design": point.design,
+                        "weight_sparsity": point.weight_sparsity,
+                        "accuracy_loss_pct": point.accuracy_loss_pct,
+                        "normalized_edp": point.normalized_edp,
+                        "on_frontier": point.as_point in frontier,
+                    }
+                )
+        return {
+            "rows": rows,
+            "highlight_on_frontier": {
+                model: self.highlight_on_frontier(model)
+                for model in self.points
+            },
+        }
+
 
 def _pareto_points(
     model: DnnModel, sweep: ModelSweepResult
@@ -494,32 +714,26 @@ def _pareto_points(
     return points
 
 
-def fig15(
-    estimator: Optional[Estimator] = None,
-    engine: Optional[SweepEngine] = None,
-) -> Fig15Result:
+def fig15(ctx: ContextLike = None) -> Fig15Result:
     """Fig. 15: the EDP/accuracy-loss trade-off for the three DNNs.
 
     Each network's design x degree-ladder grid is one batched
     :func:`sweep_model` submission: candidate workloads deduplicate
     across designs and degrees (every dense layer is costed once per
-    design), and parallel/persistent-cache engines accelerate the
+    design), and parallel/persistent-cache contexts accelerate the
     whole figure transparently.
     """
-    engine = engine or SweepEngine.shared(estimator)
+    ctx = EngineContext.coerce(ctx)
     out: Dict[str, List[ParetoPoint]] = {}
     for model in all_models():
         sweep = sweep_model(
-            model, designs=tuple(DESIGN_LADDERS), engine=engine
+            model, designs=tuple(DESIGN_LADDERS), ctx=ctx
         )
         out[model.name] = _pareto_points(model, sweep)
     return Fig15Result(points=out)
 
 
-def ext_efficientnet(
-    estimator: Optional[Estimator] = None,
-    engine: Optional[SweepEngine] = None,
-) -> Fig15Result:
+def ext_efficientnet(ctx: ContextLike = None) -> Fig15Result:
     """Extension experiment: the Fig. 15 study on EfficientNet-B0.
 
     The paper's Sec. 1 names EfficientNet as a compact model that
@@ -530,10 +744,10 @@ def ext_efficientnet(
     """
     from repro.dnn.models import efficientnet_b0
 
-    engine = engine or SweepEngine.shared(estimator)
+    ctx = EngineContext.coerce(ctx)
     model = efficientnet_b0()
     sweep = sweep_model(
-        model, designs=tuple(DESIGN_LADDERS), engine=engine
+        model, designs=tuple(DESIGN_LADDERS), ctx=ctx
     )
     return Fig15Result(
         points={model.name: _pareto_points(model, sweep)}
@@ -543,6 +757,10 @@ def ext_efficientnet(
 # ----------------------------------------------------------------------
 # Fig. 16: sparsity tax (energy breakdown + area breakdown)
 # ----------------------------------------------------------------------
+
+
+#: Fig. 16(a) energy buckets, render order.
+FIG16_BUCKETS = ("dram", "glb", "rf", "mac", "saf", "other")
 
 
 @dataclass(frozen=True)
@@ -556,17 +774,32 @@ class Fig16Result:
     def highlight_saf_area_fraction(self) -> float:
         return self.areas["HighLight"].saf_fraction
 
+    def to_payload(self) -> Dict[str, Any]:
+        rows: List[Dict[str, Any]] = []
+        for design, breakdown in self.energy_breakdown.items():
+            row: Dict[str, Any] = {"design": design}
+            for bucket in FIG16_BUCKETS:
+                row[bucket] = breakdown.get(bucket, 0.0)
+            row["total_pj"] = sum(breakdown.values())
+            rows.append(row)
+        return {
+            "rows": rows,
+            "areas_um2": {
+                design: dict(sorted(area.by_category.items()))
+                for design, area in self.areas.items()
+            },
+            "highlight_saf_area_fraction":
+                self.highlight_saf_area_fraction,
+        }
 
-def fig16(
-    estimator: Optional[Estimator] = None,
-    engine: Optional[SweepEngine] = None,
-) -> Fig16Result:
+
+def fig16(ctx: ContextLike = None) -> Fig16Result:
     """Fig. 16: energy breakdown (A 75% sparse, B dense) and area.
 
     The breakdown cell is a Fig. 13 grid point, so under a shared
-    engine (``repro all``) it is a cache hit, not a re-evaluation.
+    context (``repro all``) it is a cache hit, not a re-evaluation.
     """
-    engine = engine or SweepEngine.shared(estimator)
+    engine = EngineContext.coerce(ctx).engine
     names = main_design_names()
     cells = [Cell(name, 0.75, 0.0) for name in names]
     breakdown: Dict[str, Dict[str, float]] = {}
@@ -600,19 +833,30 @@ class Fig17Result:
         highlight_speed, dsso_speed = self.speeds[h]
         return dsso_speed / highlight_speed
 
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rows": [
+                {
+                    "h": h,
+                    "highlight_speed": highlight_speed,
+                    "dsso_speed": dsso_speed,
+                    "dsso_gain": self.dsso_gain(h),
+                }
+                for h, (highlight_speed, dsso_speed) in sorted(
+                    self.speeds.items()
+                )
+            ],
+        }
 
-def fig17(
-    estimator: Optional[Estimator] = None,
-    size: int = 1024,
-    engine: Optional[SweepEngine] = None,
-) -> Fig17Result:
+
+def fig17(ctx: ContextLike = None, size: int = 1024) -> Fig17Result:
     """Fig. 17: HighLight vs DSSO with A C1(dense)->C0(2:4) weights and
     B C1(2:{2<=H<=8})->C0(dense) activations.
 
     The fourteen (design, workload) pairs go through the engine as one
     batch — memoized and parallelizable like every other experiment.
     """
-    engine = engine or SweepEngine.shared(estimator)
+    engine = EngineContext.coerce(ctx).engine
     pattern_a = HSSPattern.from_ratios((2, 4))
     workloads: List[Tuple[int, MatmulWorkload]] = []
     for h in range(2, 9):
@@ -663,9 +907,28 @@ class Fig6Result:
         """S over SS muxing overhead (paper: > 2x)."""
         return self.mux_overhead["S"] / self.mux_overhead["SS"]
 
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rows": [
+                {
+                    "design": name,
+                    "density": density,
+                    "normalized_latency": latency,
+                }
+                for name, curve in self.latency_curves.items()
+                for density, latency in curve
+            ],
+            "mux_overhead": dict(self.mux_overhead),
+            "overhead_ratio": self.overhead_ratio,
+        }
 
-def fig6() -> Fig6Result:
-    """Fig. 6(a)/(b): one-rank S vs two-rank SS designs."""
+
+def fig6(ctx: ContextLike = None) -> Fig6Result:
+    """Fig. 6(a)/(b): one-rank S vs two-rank SS designs.
+
+    Purely structural — ``ctx`` is accepted for interface uniformity
+    but no workload is evaluated.
+    """
     design_s, design_ss = fig6_designs()
     curves: Dict[str, List[Tuple[float, float]]] = {}
     for name, families in (("S", design_s), ("SS", design_ss)):
@@ -682,6 +945,46 @@ def fig6() -> Fig6Result:
 # ----------------------------------------------------------------------
 # Tables 1-4
 # ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TablesResult:
+    """Tables 1-4 as structured rows (Table 3 includes the Sec. 7.5
+    DSSO row, matching the printed artifact)."""
+
+    table1: List[Dict[str, str]] = field(default_factory=list)
+    table2: List[Dict[str, str]] = field(default_factory=list)
+    table3: List[Dict[str, str]] = field(default_factory=list)
+    table4: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rows": [
+                {"table": name, **row}
+                for name, rows in (
+                    ("table1", self.table1),
+                    ("table2", self.table2),
+                    ("table3", self.table3),
+                    ("table4", self.table4),
+                )
+                for row in rows
+            ],
+        }
+
+
+def tables(ctx: ContextLike = None) -> TablesResult:
+    """Tables 1-4 in one structured result.
+
+    Purely structural (regenerated from the design/pattern
+    definitions); ``ctx`` is accepted for interface uniformity but no
+    workload is evaluated.
+    """
+    return TablesResult(
+        table1=table1(),
+        table2=table2(),
+        table3=table3() + [table3_dsso()],
+        table4=table_4(),
+    )
 
 
 def table1() -> List[Dict[str, str]]:

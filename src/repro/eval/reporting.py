@@ -7,11 +7,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.eval.experiments import (
     Fig2Result,
     Fig6Result,
+    Fig14Result,
     Fig15Result,
     Fig16Result,
     Fig17Result,
     ModelSweepResult,
     SweepResult,
+    TablesResult,
 )
 
 
@@ -36,6 +38,43 @@ def format_table(
 
 def _fmt(value: Optional[float], digits: int = 3) -> str:
     return "n/s" if value is None else f"{value:.{digits}f}"
+
+
+def render_tables(result: TablesResult) -> str:
+    """Tables 1-4, titled and stacked (the ``tables`` artifact)."""
+    sections = [
+        format_table(
+            ["category", "design", "sparsity tax", "degree diversity"],
+            [
+                [r["category"], r["design"], r["sparsity_tax"],
+                 r["degree_diversity"]]
+                for r in result.table1
+            ],
+        ),
+        format_table(
+            ["source", "conventional", "fibertree spec"],
+            [
+                [r["source"], r["conventional"], r["fibertree"]]
+                for r in result.table2
+            ],
+        ),
+        format_table(
+            ["design", "patterns"],
+            [[r["design"], r["patterns"]] for r in result.table3],
+        ),
+        format_table(
+            ["design", "GLB data (KB)", "GLB meta (KB)", "RF", "MACs"],
+            [
+                [r["design"], str(r["glb_data_kb"]),
+                 str(r["glb_meta_kb"]), str(r["rf"]), str(r["macs"])]
+                for r in result.table4
+            ],
+        ),
+    ]
+    titles = ["Table 1", "Table 2", "Table 3", "Table 4"]
+    return "\n\n".join(
+        f"{title}\n{section}" for title, section in zip(titles, sections)
+    )
 
 
 def render_fig13(result: SweepResult, metric: str = "edp") -> str:
@@ -107,8 +146,9 @@ def render_model_sweep(result: ModelSweepResult) -> str:
     return title + "\n" + format_table(headers, rows)
 
 
-def render_fig14(geomeans: Dict[str, Dict[str, float]]) -> str:
+def render_fig14(result: Fig14Result) -> str:
     """The Fig. 14 geomean bars."""
+    geomeans = result.geomeans
     designs = list(next(iter(geomeans.values())).keys())
     headers = ["metric"] + designs
     rows = [

@@ -15,7 +15,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import EvaluationError
-from repro.eval.engine import SweepEngine, SweepResult
+from repro.eval.engine import GEOMEAN_METRICS, SweepEngine, SweepResult
 from repro.model.metrics import Metrics
 
 if TYPE_CHECKING:  # typing-only, avoids a cycle with experiments
@@ -23,7 +23,9 @@ if TYPE_CHECKING:  # typing-only, avoids a cycle with experiments
 
 #: Record format version, bumped on breaking schema changes.
 #: v2: cache stats gained disk_hits/evaluations; model-sweep records.
-SCHEMA_VERSION = 2
+#: v3: artifact records (``repro all --record``) carrying each
+#: artifact's structured ``to_payload()`` under ``artifacts``.
+SCHEMA_VERSION = 3
 
 
 def metrics_summary(metrics: Optional[Metrics]) -> Optional[Dict[str, Any]]:
@@ -52,6 +54,8 @@ class RunRecord:
     geomeans: Dict[str, Dict[str, float]] = field(default_factory=dict)
     wall_time_s: float = 0.0
     cache: Dict[str, int] = field(default_factory=dict)
+    #: Artifact runs only: name -> the artifact's ``to_payload()``.
+    artifacts: Dict[str, Any] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def write(self, path: "str | Path") -> Path:
@@ -94,7 +98,7 @@ def record_from_sweep(
         try:
             geomeans = {
                 metric: sweep.geomeans(metric)
-                for metric in ("edp", "energy_pj", "cycles", "ed2")
+                for metric in GEOMEAN_METRICS
             }
         except EvaluationError:
             geomeans = {}
@@ -167,6 +171,36 @@ def record_from_model_sweep(
         grid=grid,
         cells=cells,
         geomeans={},
+        wall_time_s=wall_time_s,
+        cache=engine.stats.as_dict() if engine is not None else {},
+    )
+
+
+def record_from_artifacts(
+    command: str,
+    results: Dict[str, Any],
+    engine: Optional[SweepEngine] = None,
+    wall_time_s: float = 0.0,
+    created_at: Optional[str] = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from computed artifacts.
+
+    ``results`` maps artifact names to their structured results (as
+    returned by :func:`repro.eval.artifacts.compute_artifacts`); each
+    is stored via its uniform ``to_payload()``. The engine's cache
+    counters cover the whole invocation, so a warm persistent cache
+    shows ``evaluations == 0`` even for a full ``repro all``.
+    """
+    if created_at is None:
+        created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    return RunRecord(
+        command=command,
+        created_at=created_at,
+        grid={"artifacts": list(results)},
+        artifacts={
+            name: result.to_payload()
+            for name, result in results.items()
+        },
         wall_time_s=wall_time_s,
         cache=engine.stats.as_dict() if engine is not None else {},
     )

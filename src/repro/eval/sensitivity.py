@@ -108,7 +108,7 @@ def sweep_sensitivity(
         for scale in scales:
             table = perturb_table(base, constant, scale)
             engine = SweepEngine(Estimator(table), jobs=jobs)
-            sweep = fig13(size=size, engine=engine)
+            sweep = fig13(engine, size=size)
             checks = _check(sweep, parity_tolerance)
             outcomes.append(
                 SensitivityOutcome(

@@ -6,12 +6,14 @@ import pytest
 
 from repro.energy import Estimator
 from repro.energy.tables import EnergyAreaTable
+from repro.errors import CacheError
 from repro.eval.cache import (
     MISS,
     PersistentCache,
     cache_stats,
     clear_cache,
     estimator_fingerprint,
+    merge_cache_dirs,
     pair_digest,
 )
 from repro.eval.engine import SweepEngine
@@ -184,3 +186,66 @@ class TestMaintenance:
         stats = cache_stats(tmp_path / "nope")
         assert stats["files"] == []
         assert stats["total_entries"] == 0
+
+
+class TestMergeCacheDirs:
+    def _shard(self, directory, estimator, pairs):
+        cache = PersistentCache.for_estimator(directory, estimator)
+        engine = SweepEngine(estimator, cache=cache)
+        engine.evaluate_workloads(pairs)
+        return cache
+
+    def test_union_of_shards(self, tmp_path, estimator):
+        a = synthetic_workload(0.5, 0.0, size=128)
+        b = synthetic_workload(0.75, 0.0, size=128)
+        self._shard(tmp_path / "s1", estimator, [("HighLight", a)])
+        self._shard(tmp_path / "s2", estimator, [("HighLight", b)])
+        summary = merge_cache_dirs(
+            [tmp_path / "s1", tmp_path / "s2"], tmp_path / "out"
+        )
+        assert summary["total_entries"] == 2
+        assert summary["new_entries"] == 2
+        assert summary["fingerprint"] == estimator_fingerprint(estimator)
+        merged = PersistentCache.for_estimator(
+            tmp_path / "out", estimator
+        )
+        assert merged.get("HighLight", a.key()) is not MISS
+        assert merged.get("HighLight", b.key()) is not MISS
+
+    def test_merge_is_idempotent(self, tmp_path, estimator, workload):
+        self._shard(tmp_path / "s1", estimator, [("TC", workload)])
+        merge_cache_dirs([tmp_path / "s1"], tmp_path / "out")
+        again = merge_cache_dirs([tmp_path / "s1"], tmp_path / "out")
+        assert again["new_entries"] == 0
+        assert again["total_entries"] == 1
+
+    def test_overlapping_shards_deduplicate(self, tmp_path, estimator,
+                                            workload):
+        self._shard(tmp_path / "s1", estimator, [("TC", workload)])
+        self._shard(tmp_path / "s2", estimator, [("TC", workload)])
+        summary = merge_cache_dirs(
+            [tmp_path / "s1", tmp_path / "s2"], tmp_path / "out"
+        )
+        assert summary["total_entries"] == 1
+
+    def test_mismatched_fingerprints_refused(self, tmp_path, workload):
+        self._shard(tmp_path / "s1", Estimator(), [("TC", workload)])
+        other = Estimator(table=EnergyAreaTable(mac_pj=9.9))
+        self._shard(tmp_path / "s2", other, [("TC", workload)])
+        with pytest.raises(CacheError, match="mismatched"):
+            merge_cache_dirs(
+                [tmp_path / "s1", tmp_path / "s2"], tmp_path / "out"
+            )
+
+    def test_empty_source_refused(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(CacheError, match="no cache files"):
+            merge_cache_dirs([tmp_path / "empty"], tmp_path / "out")
+
+    def test_corrupt_source_is_loud(self, tmp_path, estimator):
+        shard = tmp_path / "s1"
+        shard.mkdir()
+        path = shard / f"{estimator_fingerprint(estimator)}.json"
+        path.write_text("{not json")
+        with pytest.raises(CacheError, match="cannot read"):
+            merge_cache_dirs([shard], tmp_path / "out")

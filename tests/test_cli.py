@@ -191,6 +191,231 @@ class TestModelSweepSubcommand:
             assert "synthetic grids" in capsys.readouterr().err
 
 
+class TestArtifactFormatsAndRecords:
+    def test_json_format_keyed_by_artifact(self, capsys):
+        assert main(["artifact", "fig6", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"fig6"}
+        assert payload["fig6"]["overhead_ratio"] > 2.0
+
+    def test_csv_format_marks_artifacts(self, capsys):
+        assert main(["artifact", "fig6", "fig17", "--format",
+                     "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "# artifact: fig6" in out
+        assert "# artifact: fig17" in out
+        assert "design,density,normalized_latency" in out
+
+    def test_artifact_record_schema_v3(self, tmp_path, capsys):
+        record_path = tmp_path / "artifact-run.json"
+        assert main(["artifact", "fig6", "tables",
+                     "--record", str(record_path)]) == 0
+        assert "wrote" in capsys.readouterr().err
+        record = json.loads(record_path.read_text())
+        assert record["schema_version"] == 3
+        assert record["command"] == "artifact"
+        assert record["grid"]["artifacts"] == ["fig6", "tables"]
+        assert set(record["artifacts"]) == {"fig6", "tables"}
+        assert record["artifacts"]["fig6"]["rows"]
+
+    def test_artifact_warm_cache_zero_evaluations(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        argv = ["artifact", "fig13", "fig14",
+                "--cache-dir", str(cache_dir)]
+        assert main(argv + ["--record", str(tmp_path / "cold.json")]) == 0
+        assert main(argv + ["--record", str(tmp_path / "warm.json")]) == 0
+        capsys.readouterr()
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert cold["cache"]["evaluations"] > 0
+        assert warm["cache"]["evaluations"] == 0
+        assert warm["cache"]["disk_hits"] > 0
+        assert cold["artifacts"] == warm["artifacts"]
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["artifact", "fig6", "--format", "yaml"])
+
+
+class TestModelFileSubcommand:
+    @pytest.fixture(autouse=True)
+    def _unregister(self):
+        """Runtime registrations must not leak into other tests."""
+        from repro.dnn.models import MODEL_BUILDERS
+
+        yield
+        MODEL_BUILDERS.pop("TinyNet", None)
+
+    MODEL = {
+        "name": "TinyNet",
+        "activation_sparsity": 0.1,
+        "layers": [
+            {"type": "linear", "name": "fc1", "in_features": 128,
+             "out_features": 256, "tokens": 64},
+            {"type": "conv", "name": "c1", "in_channels": 16,
+             "out_channels": 32, "kernel": 3, "input_size": 28,
+             "padding": 1},
+        ],
+        "prunable": ["fc1"],
+    }
+
+    def _write(self, tmp_path, data):
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_model_file_sweeps(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.MODEL)
+        assert main([
+            "sweep", "--model-file", path,
+            "--designs", "TC,HighLight", "--degrees", "0.0,0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Network sweep — TinyNet" in out
+
+    def test_missing_field_listed(self, tmp_path, capsys):
+        bad = json.loads(json.dumps(self.MODEL))
+        del bad["layers"][0]["out_features"]
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model-file", self._write(tmp_path, bad)])
+        err = capsys.readouterr().err
+        assert "missing field(s): out_features" in err
+        assert "required" in err
+
+    def test_unknown_field_listed(self, tmp_path, capsys):
+        bad = json.loads(json.dumps(self.MODEL))
+        bad["layers"][1]["dilation"] = 2
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model-file", self._write(tmp_path, bad)])
+        assert "unknown field(s): dilation" in capsys.readouterr().err
+
+    def test_case_collision_with_builtin_sweeps_user_model(
+        self, tmp_path, capsys
+    ):
+        """A user model named "resnet50" must sweep the user's table,
+        not resolve case-insensitively to the built-in ResNet50."""
+        from repro.dnn.models import MODEL_BUILDERS
+
+        shadow = json.loads(json.dumps(self.MODEL))
+        shadow["name"] = "resnet50"
+        path = self._write(tmp_path, shadow)
+        try:
+            assert main([
+                "sweep", "--model-file", path,
+                "--designs", "TC", "--degrees", "0.0",
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "Network sweep — resnet50" in out
+            # The 2-layer user table, not the 22-layer builtin.
+            assert "1 designs on resnet50" in out
+        finally:
+            MODEL_BUILDERS.pop("resnet50", None)
+
+    def test_model_and_model_file_conflict(self, tmp_path, capsys):
+        path = self._write(tmp_path, self.MODEL)
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model", "DeiT-small",
+                  "--model-file", path])
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestProfileSubcommand:
+    def _profile(self, tmp_path, data):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_profile_changes_the_sweep(self, tmp_path, capsys):
+        argv = ["sweep", "--model", "DeiT-small",
+                "--designs", "HighLight", "--degrees", "0.5"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out.split("\n\n")[0]
+        path = self._profile(
+            tmp_path, {"ff1": 0.75, "ff2": {"pattern": "2:4"}}
+        )
+        assert main(argv + ["--profile", path]) == 0
+        profiled = capsys.readouterr().out.split("\n\n")[0]
+        assert profiled != plain
+
+    def test_unknown_layer_listed(self, tmp_path, capsys):
+        path = self._profile(tmp_path, {"no_such_layer": 0.5})
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model", "DeiT-small",
+                  "--profile", path])
+        assert "no_such_layer" in capsys.readouterr().err
+
+    def test_profile_without_model_rejected(self, tmp_path, capsys):
+        path = self._profile(tmp_path, {"ff1": 0.5})
+        with pytest.raises(SystemExit):
+            main(["sweep", "--profile", path])
+        assert "--model" in capsys.readouterr().err
+
+    def test_bad_profile_degree_rejected(self, tmp_path, capsys):
+        path = self._profile(tmp_path, {"ff1": 1.5})
+        with pytest.raises(SystemExit):
+            main(["sweep", "--model", "DeiT-small",
+                  "--profile", path])
+        assert "[0, 1)" in capsys.readouterr().err
+
+
+class TestCacheMergeSubcommand:
+    def _fill_shard(self, cache_dir, degree):
+        assert main([
+            "sweep", "--designs", "TC,HighLight",
+            "--a-degrees", degree, "--b-degrees", "0.0",
+            "--size", "128", "--cache-dir", str(cache_dir),
+        ]) == 0
+
+    def test_merge_enables_warm_run(self, tmp_path, capsys):
+        shard1, shard2 = tmp_path / "s1", tmp_path / "s2"
+        self._fill_shard(shard1, "0.0")
+        self._fill_shard(shard2, "0.5")
+        merged = tmp_path / "merged"
+        capsys.readouterr()
+        assert main([
+            "cache", "merge", str(shard1), str(shard2),
+            "--cache-dir", str(merged),
+        ]) == 0
+        assert "merged 2 shard(s)" in capsys.readouterr().out
+        record_path = tmp_path / "warm.json"
+        assert main([
+            "sweep", "--designs", "TC,HighLight",
+            "--a-degrees", "0.0,0.5", "--b-degrees", "0.0",
+            "--size", "128", "--cache-dir", str(merged),
+            "--record", str(record_path),
+        ]) == 0
+        record = json.loads(record_path.read_text())
+        assert record["cache"]["evaluations"] == 0
+        assert record["cache"]["disk_hits"] > 0
+
+    def test_mismatched_fingerprints_refused(self, tmp_path, capsys):
+        shard = tmp_path / "s1"
+        self._fill_shard(shard, "0.0")
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / ("deadbeef" * 2 + ".json")).write_text(json.dumps({
+            "schema_version": 1, "fingerprint": "deadbeef" * 2,
+            "entries": {},
+        }))
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["cache", "merge", str(shard), str(foreign),
+                  "--cache-dir", str(tmp_path / "out")])
+        assert "mismatched" in capsys.readouterr().err
+
+    def test_merge_without_sources_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "merge"])
+        assert "at least one source" in capsys.readouterr().err
+
+    def test_stats_rejects_dir_arguments(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "stats", str(tmp_path)])
+        assert "merge" in capsys.readouterr().err
+
+
 class TestCacheSubcommand:
     def test_stats_and_clear(self, tmp_path, capsys):
         cache_dir = tmp_path / "cache"

@@ -69,7 +69,7 @@ class TestFig13:
 
 class TestFig14:
     def test_highlight_best_geomean_all_metrics(self, sweep):
-        geomeans = E.fig14(sweep)
+        geomeans = E.fig14(sweep).geomeans
         for metric in ("edp", "ed2"):
             per_design = geomeans[metric]
             best = min(

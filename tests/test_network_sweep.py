@@ -29,9 +29,9 @@ class TestEvaluateModelViaEngine:
         engine = SweepEngine(estimator)
         model = deit_small()
         design = engine.design("HighLight")
-        first = E.evaluate_model(design, model, 0.5, engine=engine)
+        first = E.evaluate_model(design, model, 0.5, engine)
         evaluations = engine.stats.misses
-        second = E.evaluate_model(design, model, 0.5, engine=engine)
+        second = E.evaluate_model(design, model, 0.5, engine)
         assert engine.stats.misses == evaluations
         assert first.edp == pytest.approx(second.edp)
 
@@ -42,7 +42,7 @@ class TestEvaluateModelViaEngine:
         engine = SweepEngine(estimator)
         design = engine.design("TC")
         via_estimator = E.evaluate_model(design, model, 0.0, estimator)
-        via_engine = E.evaluate_model(design, model, 0.0, engine=engine)
+        via_engine = E.evaluate_model(design, model, 0.0, engine)
         assert via_estimator.edp == pytest.approx(via_engine.edp)
 
 
@@ -70,7 +70,7 @@ class TestExactlyOnceAcrossDegrees:
             deit_small(),
             designs=("TC", "DSTC", "HighLight"),
             degrees=(0.0, 0.5, 0.75),
-            engine=engine,
+            ctx=engine,
         )
         assert calls, "spy never engaged"
         assert len(calls) == len(set(calls))
@@ -93,7 +93,7 @@ class TestSweepModelResult:
     @pytest.fixture(scope="class")
     def sweep(self, estimator):
         return E.sweep_model(
-            deit_small(), engine=SweepEngine(estimator)
+            deit_small(), ctx=SweepEngine(estimator)
         )
 
     def test_default_ladders(self, sweep):
@@ -128,7 +128,7 @@ class TestSweepModelResult:
             deit_small(),
             designs=("TC", "HighLight"),
             degrees=(0.0, 0.5),
-            engine=SweepEngine(estimator),
+            ctx=SweepEngine(estimator),
         )
         assert sweep.degrees == {
             "TC": (0.0, 0.5), "HighLight": (0.0, 0.5),
@@ -139,7 +139,7 @@ class TestSweepModelResult:
             deit_small(),
             designs=("HighLight",),
             degrees=(0.5,),
-            engine=SweepEngine(estimator),
+            ctx=SweepEngine(estimator),
         )
         assert sweep.baseline is None
         assert sweep.normalized_edp("HighLight", 0.5) is None
@@ -148,9 +148,9 @@ class TestSweepModelResult:
 class TestFig15ViaEngine:
     def test_fig15_fully_cached_on_second_run(self, estimator):
         engine = SweepEngine(estimator)
-        first = E.fig15(engine=engine)
+        first = E.fig15(engine)
         evaluations = engine.stats.misses
-        second = E.fig15(engine=engine)
+        second = E.fig15(engine)
         assert engine.stats.misses == evaluations
         assert second.points.keys() == first.points.keys()
 
@@ -161,11 +161,114 @@ class TestFig15ViaEngine:
         presweep_engine = SweepEngine(Estimator())
         E.sweep_model(
             deit_small(), designs=tuple(E.DESIGN_LADDERS),
-            engine=presweep_engine,
+            ctx=presweep_engine,
         )
-        E.fig15(engine=presweep_engine)
+        E.fig15(presweep_engine)
         fresh_engine = SweepEngine(Estimator())
-        E.fig15(engine=fresh_engine)
+        E.fig15(fresh_engine)
         assert (
             presweep_engine.stats.misses == fresh_engine.stats.misses
         )
+
+
+class TestSparsityProfiles:
+    def test_profile_overrides_named_layers_only(self, estimator):
+        """A profile pins ff1 to 75% while the rest of the network
+        stays at the sweep degree: only ff1's per-layer metrics move."""
+        engine = SweepEngine(estimator)
+        model = deit_small()
+        design = engine.design("HighLight")
+        plain = E.evaluate_model(design, model, 0.5, engine)
+        profiled = E.evaluate_model(
+            design, model, 0.5, engine, profile={"ff1": 0.75}
+        )
+        assert profiled.per_layer["ff1"].edp != pytest.approx(
+            plain.per_layer["ff1"].edp
+        )
+        for name in plain.per_layer:
+            if name == "ff1":
+                continue
+            assert profiled.per_layer[name].edp == pytest.approx(
+                plain.per_layer[name].edp
+            )
+
+    def test_profile_can_sparsify_non_prunable_layers(self, estimator):
+        """Profiles address any layer by name, including ones outside
+        model.prunable (qkv_proj on DeiT stays dense by default)."""
+        engine = SweepEngine(estimator)
+        model = deit_small()
+        design = engine.design("HighLight")
+        plain = E.evaluate_model(design, model, 0.0, engine)
+        profiled = E.evaluate_model(
+            design, model, 0.0, engine, profile={"qkv_proj": 0.5}
+        )
+        assert profiled.per_layer["qkv_proj"].edp != pytest.approx(
+            plain.per_layer["qkv_proj"].edp
+        )
+
+    def test_sweep_model_applies_profile_at_every_point(self, estimator):
+        profile = {"ff1": 0.75}
+        sweep = E.sweep_model(
+            deit_small(),
+            designs=("HighLight",),
+            degrees=(0.0, 0.5),
+            ctx=SweepEngine(estimator),
+            profile=profile,
+        )
+        for degree in (0.0, 0.5):
+            evaluation = sweep.evaluations[("HighLight", degree)]
+            assert evaluation is not None
+
+    def test_unknown_layer_rejected(self, estimator):
+        with pytest.raises(WorkloadError, match="no_such"):
+            E.sweep_model(
+                deit_small(),
+                ctx=SweepEngine(estimator),
+                profile={"no_such": 0.5},
+            )
+
+
+class TestProfileParsing:
+    def test_load_profile_forms(self, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps({
+            "a": 0.5,
+            "b": {"degree": 0.625},
+            "c": {"pattern": "2:4"},
+        }))
+        profile = E.load_profile(path)
+        assert profile == {"a": 0.5, "b": 0.625, "c": 0.5}
+
+    def test_bad_degree_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps({"a": -0.1}))
+        with pytest.raises(WorkloadError, match=r"\[0, 1\)"):
+            E.load_profile(path)
+
+    def test_bad_pattern_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps({"a": {"pattern": "4:2"}}))
+        with pytest.raises(WorkloadError, match="G <= H"):
+            E.load_profile(path)
+
+    def test_degree_and_pattern_conflict(self, tmp_path):
+        import json
+
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(
+            {"a": {"degree": 0.5, "pattern": "2:4"}}
+        ))
+        with pytest.raises(WorkloadError, match="exactly one"):
+            E.load_profile(path)
+
+    def test_non_object_profile_rejected(self, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(WorkloadError, match="JSON object"):
+            E.load_profile(path)

@@ -8,6 +8,7 @@ Usage::
     python -m repro sweep --model-file F    # ... or a user-defined one
     python -m repro cache stats|clear       # persistent-cache upkeep
     python -m repro cache merge DIR...      # fan-in sharded cache fills
+    python -m repro cache migrate           # convert JSON shards to SQLite
     python -m repro list [--filter k=v]     # registered designs/artifacts
     python -m repro report [--output PATH]  # EXPERIMENTS.md record
 
@@ -35,6 +36,7 @@ import json
 import os
 import sys
 import time
+from contextlib import closing
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.accelerators import REGISTRY, main_design_names
@@ -171,6 +173,13 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "reuse them across runs (also: $REPRO_CACHE_DIR)",
     )
     parser.add_argument(
+        "--cache-backend", choices=cache_mod.CACHE_BACKENDS,
+        default=cache_mod.DEFAULT_CACHE_BACKEND,
+        help="cache storage backend (default auto: an existing .db "
+        "wins, large JSON files upgrade to sqlite, else json; sqlite "
+        "flushes only dirty entries, the right choice at 10k+ entries)",
+    )
+    parser.add_argument(
         "--record", default=None, metavar="PATH",
         help="write a JSON run record of this invocation",
     )
@@ -260,14 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(sweep)
 
     cache = sub.add_parser(
-        "cache", help="inspect, clear, or merge the persistent "
-        "evaluation cache"
+        "cache", help="inspect, clear, merge, or migrate the "
+        "persistent evaluation cache"
     )
     cache.add_argument(
-        "action", choices=("stats", "clear", "merge"),
+        "action", choices=("stats", "clear", "merge", "migrate"),
         help="'stats' prints per-fingerprint entry counts; 'clear' "
         "deletes all cache files; 'merge' folds the DIR shards into "
-        "--cache-dir (same estimator fingerprint required)",
+        "--cache-dir (same estimator fingerprint required); 'migrate' "
+        "converts JSON cache files to SQLite in place",
     )
     cache.add_argument(
         "dirs", nargs="*", metavar="DIR",
@@ -277,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="cache directory to operate on (default: $REPRO_CACHE_DIR "
         "or ~/.cache/repro-highlight)",
+    )
+    cache.add_argument(
+        "--cache-backend", choices=cache_mod.CACHE_BACKENDS,
+        default=None,
+        help="(merge only) storage backend for the merged destination "
+        "file (default auto: keep the destination's current format, "
+        "else sqlite for large merges)",
     )
 
     lister = sub.add_parser(
@@ -318,6 +335,7 @@ def _build_context(args: argparse.Namespace) -> EngineContext:
         jobs=args.jobs,
         backend=args.backend,
         cache_dir=_resolve_cache_dir(args.cache_dir),
+        cache_backend=args.cache_backend,
         record=args.record,
     )
 
@@ -331,21 +349,25 @@ def _cmd_artifact(args: argparse.Namespace,
         )
     names = ORDER if "all" in args.names else list(args.names)
     ctx = _build_context(args)
-    start = time.perf_counter()
-    results = compute_artifacts(names, ctx)
-    wall_time_s = time.perf_counter() - start
-    print(_render_outputs(results, args.fmt))
-    if ctx.record_path:
-        record = record_from_artifacts(
-            command="artifact",
-            results=results,
-            engine=ctx.engine,
-            wall_time_s=wall_time_s,
-        )
-        path = record.write(ctx.record_path)
-        # stderr: stdout stays pure renderer output (json/csv piping).
-        print(f"wrote {path}", file=sys.stderr)
-    return 0
+    # closing(): an interrupt mid-grid must still flush completed
+    # evaluations to the persistent cache, not silently discard them.
+    with closing(ctx.engine):
+        start = time.perf_counter()
+        results = compute_artifacts(names, ctx)
+        wall_time_s = time.perf_counter() - start
+        print(_render_outputs(results, args.fmt))
+        if ctx.record_path:
+            record = record_from_artifacts(
+                command="artifact",
+                results=results,
+                engine=ctx.engine,
+                wall_time_s=wall_time_s,
+            )
+            path = record.write(ctx.record_path)
+            # stderr: stdout stays pure renderer output (json/csv
+            # piping).
+            print(f"wrote {path}", file=sys.stderr)
+        return 0
 
 
 def _cmd_sweep_model(args: argparse.Namespace,
@@ -366,37 +388,38 @@ def _cmd_sweep_model(args: argparse.Namespace,
         tuple(args.designs) if args.designs else main_design_names()
     )
     ctx = _build_context(args)
-    start = time.perf_counter()
-    try:
-        sweep = E.sweep_model(
-            model,
-            designs=design_names,
-            degrees=args.degrees,
-            ctx=ctx,
-            profile=profile,
+    with closing(ctx.engine):
+        start = time.perf_counter()
+        try:
+            sweep = E.sweep_model(
+                model,
+                designs=design_names,
+                degrees=args.degrees,
+                ctx=ctx,
+                profile=profile,
+            )
+        except WorkloadError as error:
+            parser.error(str(error))
+        wall_time_s = time.perf_counter() - start
+        print(R.render_model_sweep(sweep))
+        stats = ctx.engine.stats
+        print(
+            f"\n{len(design_names)} designs on {model.name}, "
+            f"jobs={args.jobs} ({args.backend}): "
+            f"{stats.evaluations} workloads evaluated, "
+            f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
+            f"in {wall_time_s:.2f}s"
         )
-    except WorkloadError as error:
-        parser.error(str(error))
-    wall_time_s = time.perf_counter() - start
-    print(R.render_model_sweep(sweep))
-    stats = ctx.engine.stats
-    print(
-        f"\n{len(design_names)} designs on {model.name}, "
-        f"jobs={args.jobs} ({args.backend}): "
-        f"{stats.evaluations} workloads evaluated, "
-        f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
-        f"in {wall_time_s:.2f}s"
-    )
-    if ctx.record_path:
-        record = record_from_model_sweep(
-            command="sweep-model",
-            sweep=sweep,
-            engine=ctx.engine,
-            wall_time_s=wall_time_s,
-        )
-        path = record.write(ctx.record_path)
-        print(f"wrote {path}")
-    return 0
+        if ctx.record_path:
+            record = record_from_model_sweep(
+                command="sweep-model",
+                sweep=sweep,
+                engine=ctx.engine,
+                wall_time_s=wall_time_s,
+            )
+            path = record.write(ctx.record_path)
+            print(f"wrote {path}")
+        return 0
 
 
 def _cmd_sweep(args: argparse.Namespace,
@@ -450,45 +473,47 @@ def _cmd_sweep(args: argparse.Namespace,
     b_degrees = args.b_degrees if args.b_degrees is not None else E.B_DEGREES
     size = args.size if args.size is not None else 1024
     ctx = _build_context(args)
-    start = time.perf_counter()
-    sweep = ctx.engine.sweep(
-        designs=design_names,
-        a_degrees=a_degrees,
-        b_degrees=b_degrees,
-        m=size, k=size, n=size,
-    )
-    wall_time_s = time.perf_counter() - start
-    try:
-        rendered = R.render_sweep(sweep, args.metric)
-    except EvaluationError as error:
-        # E.g. S2TA as baseline on a grid with a dense-dense cell it
-        # cannot process: normalization has nothing to divide by.
-        parser.error(
-            f"cannot normalize this grid: {error}. Include TC in "
-            f"--designs or restrict the degree grids to cells the "
-            f"baseline ({sweep.baseline}) supports."
+    with closing(ctx.engine):
+        start = time.perf_counter()
+        sweep = ctx.engine.sweep(
+            designs=design_names,
+            a_degrees=a_degrees,
+            b_degrees=b_degrees,
+            m=size, k=size, n=size,
         )
-    print(rendered)
-    stats = ctx.engine.stats
-    print(
-        f"\n{len(design_names)} designs x {len(a_degrees)}x"
-        f"{len(b_degrees)} degree grid @ {size}^3, "
-        f"jobs={args.jobs} ({args.backend}): "
-        f"{stats.evaluations} workloads evaluated, "
-        f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
-        f"in {wall_time_s:.2f}s"
-    )
-    if ctx.record_path:
-        record = record_from_sweep(
-            command="sweep",
-            sweep=sweep,
-            engine=ctx.engine,
-            wall_time_s=wall_time_s,
-            shape=(size, size, size),
+        wall_time_s = time.perf_counter() - start
+        try:
+            rendered = R.render_sweep(sweep, args.metric)
+        except EvaluationError as error:
+            # E.g. S2TA as baseline on a grid with a dense-dense cell
+            # it cannot process: normalization has nothing to divide
+            # by.
+            parser.error(
+                f"cannot normalize this grid: {error}. Include TC in "
+                f"--designs or restrict the degree grids to cells the "
+                f"baseline ({sweep.baseline}) supports."
+            )
+        print(rendered)
+        stats = ctx.engine.stats
+        print(
+            f"\n{len(design_names)} designs x {len(a_degrees)}x"
+            f"{len(b_degrees)} degree grid @ {size}^3, "
+            f"jobs={args.jobs} ({args.backend}): "
+            f"{stats.evaluations} workloads evaluated, "
+            f"{stats.hits} memory hits, {stats.disk_hits} disk hits "
+            f"in {wall_time_s:.2f}s"
         )
-        path = record.write(ctx.record_path)
-        print(f"wrote {path}")
-    return 0
+        if ctx.record_path:
+            record = record_from_sweep(
+                command="sweep",
+                sweep=sweep,
+                engine=ctx.engine,
+                wall_time_s=wall_time_s,
+                shape=(size, size, size),
+            )
+            path = record.write(ctx.record_path)
+            print(f"wrote {path}")
+        return 0
 
 
 def _cmd_cache(args: argparse.Namespace,
@@ -502,13 +527,20 @@ def _cmd_cache(args: argparse.Namespace,
                 "cache merge needs at least one source DIR "
                 "(merged into --cache-dir)"
             )
+        backend = (
+            args.cache_backend if args.cache_backend is not None
+            else cache_mod.DEFAULT_CACHE_BACKEND
+        )
         try:
-            summary = cache_mod.merge_cache_dirs(args.dirs, directory)
+            summary = cache_mod.merge_cache_dirs(
+                args.dirs, directory, backend=backend
+            )
         except CacheError as error:
             parser.error(str(error))
         print(
             f"merged {len(summary['sources'])} shard(s) into "
-            f"{summary['path']}: {summary['total_entries']} entries "
+            f"{summary['path']} ({summary['backend']}): "
+            f"{summary['total_entries']} entries "
             f"({summary['new_entries']} new)"
         )
         return 0
@@ -517,6 +549,32 @@ def _cmd_cache(args: argparse.Namespace,
             f"DIR arguments only apply to 'cache merge', not "
             f"'cache {args.action}'"
         )
+    if args.cache_backend is not None:
+        # 'cache migrate --cache-backend json' would otherwise exit 0
+        # while converting to sqlite anyway.
+        parser.error(
+            f"--cache-backend only applies to 'cache merge' (it picks "
+            f"the merged destination format), not "
+            f"'cache {args.action}'"
+        )
+    if args.action == "migrate":
+        try:
+            summary = cache_mod.migrate_cache_dir(directory)
+        except CacheError as error:
+            parser.error(str(error))
+        if not summary["files"]:
+            print(f"no JSON cache files to migrate in {directory}")
+            return 0
+        for item in summary["files"]:
+            print(
+                f"migrated {item['fingerprint']}.json -> "
+                f"{item['path']} ({item['entries']} entries)"
+            )
+        print(
+            f"migrated {len(summary['files'])} file(s), "
+            f"{summary['total_entries']} entries"
+        )
+        return 0
     if args.action == "clear":
         removed = cache_mod.clear_cache(directory)
         print(f"removed {removed} cache file(s) from {directory}")
@@ -527,10 +585,10 @@ def _cmd_cache(args: argparse.Namespace,
         print("  (empty)")
         return 0
     rows = [
-        [f["file"], str(f["entries"]), str(f["bytes"])]
+        [f["file"], f["backend"], str(f["entries"]), str(f["bytes"])]
         for f in stats["files"]
     ]
-    print(R.format_table(["file", "entries", "bytes"], rows))
+    print(R.format_table(["file", "backend", "entries", "bytes"], rows))
     print(f"total entries: {stats['total_entries']}")
     return 0
 

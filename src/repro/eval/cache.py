@@ -3,9 +3,12 @@
 The analytical cost models are pure functions of (design, workload,
 technology table), so their results can be reused across *processes and
 runs*, not just within one engine. A :class:`PersistentCache` stores
-one JSON file per estimator fingerprint under a cache directory::
+one file per estimator fingerprint under a cache directory, in one of
+two interchangeable storage backends (:class:`CacheStore`
+implementations)::
 
-    <cache_dir>/<fingerprint>.json
+    <cache_dir>/<fingerprint>.json    # JSON file store
+    <cache_dir>/<fingerprint>.db      # SQLite store (WAL mode)
 
 Keys are SHA-256 digests of the canonical (design name, workload key)
 content tuple; values are serialized :class:`~repro.model.metrics
@@ -14,9 +17,14 @@ worth caching too). The fingerprint covers the energy/area table, the
 plug-in stack, and a model-version constant, so any change to the cost
 models invalidates old entries automatically by landing in a new file.
 
-Flushes are read-merge-write with an atomic rename, so concurrent
-writers (e.g. two CI shards sharing a cache volume) can only lose each
-other's *new* entries, never corrupt the file.
+The JSON backend flushes read-merge-write with an atomic rename —
+O(total entries) per flush, fine for small caches, and concurrent
+writers can only lose each other's *new* entries, never corrupt the
+file. The SQLite backend upserts only the dirty entries (``INSERT OR
+REPLACE``), so flush cost is O(dirty), and concurrent writers are
+serialized by SQLite's own locking — the right choice once a cache
+outgrows ~10k entries (the ``auto`` backend switches over on its own;
+``repro cache migrate`` converts existing JSON files in place).
 """
 
 from __future__ import annotations
@@ -26,10 +34,12 @@ import hashlib
 import json
 import os
 import re
+import sqlite3
 import tempfile
 import threading
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from urllib.parse import quote
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.energy.estimator import Estimator
 from repro.errors import CacheError
@@ -41,11 +51,26 @@ from repro.serialization import metrics_from_dict, metrics_to_dict
 #: invalidates previously cached metrics.
 MODEL_FINGERPRINT_VERSION = 1
 
-#: Cache file schema version.
+#: Cache file schema version (shared by both storage backends).
 CACHE_SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Selectable storage backends (``auto`` resolves per fingerprint: an
+#: existing ``.db`` wins, a JSON file past the size threshold upgrades
+#: to SQLite, everything else stays JSON).
+CACHE_BACKENDS = ("json", "sqlite", "auto")
+
+DEFAULT_CACHE_BACKEND = "auto"
+
+#: ``auto`` switches a fingerprint to SQLite once its JSON file reaches
+#: this size (~10k entries at typical serialized-metrics weight).
+AUTO_SQLITE_SIZE_BYTES = 4 * 1024 * 1024
+
+#: ``auto`` writes a fresh merge destination as SQLite at this many
+#: merged entries.
+AUTO_SQLITE_ENTRIES = 10_000
 
 #: Sentinel distinguishing "no cached entry" from a cached ``None``
 #: (an unsupported pair).
@@ -106,34 +131,67 @@ def pair_digest(design: str, workload_key: WorkloadKey) -> str:
     ).hexdigest()
 
 
-class PersistentCache:
-    """A dict-like store of evaluated pairs, backed by one JSON file.
+# --- storage backends ---------------------------------------------------
 
-    Entries live in memory after :meth:`load`; :meth:`flush` merges new
-    entries with whatever is on disk and writes atomically. ``None``
-    values are first-class (cached "unsupported" verdicts). All
-    operations are guarded by an internal lock, so an engine can
-    perform lookups while another thread flushes.
+
+def _entry_to_raw(metrics: Optional[Metrics]) -> Optional[Dict[str, Any]]:
+    return None if metrics is None else metrics_to_dict(metrics)
+
+
+def _entry_from_raw(raw: Optional[Dict[str, Any]]) -> Optional[Metrics]:
+    return None if raw is None else metrics_from_dict(raw)
+
+
+class CacheStore:
+    """One fingerprint's on-disk storage: the backend half of
+    :class:`PersistentCache`.
+
+    A store owns one file (``<fingerprint><suffix>``) and knows how to
+    :meth:`load` all entries, :meth:`flush` new ones, and :meth:`close`
+    any held resources. Stores are *not* locked — the owning
+    :class:`PersistentCache` serializes access.
     """
+
+    #: Backend name as selected by ``--cache-backend``.
+    backend = ""
+    #: The store's file extension (with the dot).
+    suffix = ""
 
     def __init__(self, directory: "str | Path", fingerprint: str) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
-        self.path = self.directory / f"{fingerprint}.json"
-        self._entries: Dict[str, Optional[Metrics]] = {}
-        self._dirty: Dict[str, Optional[Metrics]] = {}
-        self._lock = threading.Lock()
+        self.path = self.directory / f"{fingerprint}{self.suffix}"
+
+    def load(self) -> Dict[str, Optional[Metrics]]:
+        """All on-disk entries (best-effort: corruption reads empty)."""
+        raise NotImplementedError
+
+    def flush(
+        self,
+        entries: Dict[str, Optional[Metrics]],
+        dirty: Dict[str, Optional[Metrics]],
+    ) -> Dict[str, Optional[Metrics]]:
+        """Persist ``dirty``; returns the post-flush in-memory view
+        (which may fold in entries a concurrent writer landed)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release held resources (reopened lazily if used again)."""
+
+
+class JsonCacheStore(CacheStore):
+    """One JSON file per fingerprint; flush is a read-merge-write of
+    the whole file behind an atomic rename (O(total entries))."""
+
+    backend = "json"
+    suffix = ".json"
+
+    def __init__(self, directory: "str | Path", fingerprint: str) -> None:
+        super().__init__(directory, fingerprint)
         #: (st_mtime_ns, st_size) of the file as last read/written by
-        #: this instance — lets flush skip the read-merge step when no
+        #: this store — lets flush skip the read-merge step when no
         #: other writer has touched the file in between.
         self._disk_state: Optional[Tuple[int, int]] = None
-        self._load()
-
-    @classmethod
-    def for_estimator(
-        cls, directory: "str | Path", estimator: Estimator
-    ) -> "PersistentCache":
-        return cls(directory, estimator_fingerprint(estimator))
 
     def _stat(self) -> Optional[Tuple[int, int]]:
         try:
@@ -152,19 +210,340 @@ class PersistentCache:
             if data.get("schema_version") != CACHE_SCHEMA_VERSION:
                 return {}
             return {
-                digest: (
-                    None if entry is None else metrics_from_dict(entry)
-                )
+                digest: _entry_from_raw(entry)
                 for digest, entry in data.get("entries", {}).items()
             }
         except Exception:
             return {}
 
-    def _load(self) -> None:
+    def load(self) -> Dict[str, Optional[Metrics]]:
         self._disk_state = self._stat()
         if self._disk_state is None:
+            return {}
+        return self._read_entries(self.path)
+
+    def flush(
+        self,
+        entries: Dict[str, Optional[Metrics]],
+        dirty: Dict[str, Optional[Metrics]],
+    ) -> Dict[str, Optional[Metrics]]:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        merged = dict(entries)
+        if self._stat() != self._disk_state:
+            # Foreign writes landed: merge them under ours.
+            for digest, entry in self._read_entries(self.path).items():
+                merged.setdefault(digest, entry)
+        _write_raw_json(
+            self.path,
+            self.fingerprint,
+            {
+                digest: _entry_to_raw(metrics)
+                for digest, metrics in merged.items()
+            },
+        )
+        self._disk_state = self._stat()
+        return merged
+
+
+#: The SQLite store's table layout. ``meta`` pins the schema version
+#: and fingerprint (the loud merge path requires both); ``entries``
+#: holds one row per pair digest, with a NULL ``metrics`` column for
+#: cached "unsupported" verdicts.
+_SQLITE_SCHEMA = (
+    "CREATE TABLE IF NOT EXISTS meta ("
+    " key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    "CREATE TABLE IF NOT EXISTS entries ("
+    " digest TEXT PRIMARY KEY, metrics TEXT)",
+)
+
+
+def _sqlite_connect_rw(path: Path, fingerprint: str) -> sqlite3.Connection:
+    """A writable connection with the schema ensured and WAL enabled.
+
+    WAL keeps readers unblocked during a writer's transaction, and
+    SQLite's own locking (with a generous busy timeout) replaces the
+    JSON store's mtime heuristic for concurrent-writer safety.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(path, timeout=30.0, check_same_thread=False)
+    try:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        for statement in _SQLITE_SCHEMA:
+            conn.execute(statement)
+        conn.executemany(
+            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+            [
+                ("schema_version", str(CACHE_SCHEMA_VERSION)),
+                ("fingerprint", fingerprint),
+            ],
+        )
+        conn.commit()
+    except BaseException:
+        conn.close()
+        raise
+    return conn
+
+
+def _sqlite_meta(conn: sqlite3.Connection) -> Dict[str, str]:
+    return dict(conn.execute("SELECT key, value FROM meta"))
+
+
+def _sqlite_connect_ro(path: Path) -> sqlite3.Connection:
+    """A read-only connection (never creates the file). The path is
+    percent-encoded: a raw f-string URI would mangle directories
+    containing ``#``, ``?``, or ``%``."""
+    uri = f"file:{quote(str(path))}?mode=ro"
+    return sqlite3.connect(uri, uri=True, timeout=30.0)
+
+
+class _SchemaMismatch(Exception):
+    """A database whose recorded schema version this code cannot use
+    (internal control flow for the SQLite store's flush recovery)."""
+
+
+class SqliteCacheStore(CacheStore):
+    """One SQLite database per fingerprint; flush upserts only the
+    dirty entries (O(dirty), not O(total)).
+
+    A sibling legacy ``<fingerprint>.json`` file seeds the *first*
+    :meth:`load` after a backend switch: its entries are imported into
+    the database durably and the JSON file is retired, so the
+    switchover never goes cold, later runs never re-parse the legacy
+    file, and ``cache stats`` never double-counts. (``repro cache
+    migrate`` does the same conversion explicitly, with loud
+    validation.)
+    """
+
+    backend = "sqlite"
+    suffix = ".db"
+
+    def __init__(self, directory: "str | Path", fingerprint: str) -> None:
+        super().__init__(directory, fingerprint)
+        self._conn: Optional[sqlite3.Connection] = None
+        #: Set when load() found the database undecodable for reasons
+        #: flush's except clauses cannot see again (e.g. one poisoned
+        #: row): the next flush must rebuild, not upsert into a file
+        #: every load reads as empty.
+        self._unreadable = False
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._conn = _sqlite_connect_rw(self.path, self.fingerprint)
+        return self._conn
+
+    def load(self) -> Dict[str, Optional[Metrics]]:
+        entries: Dict[str, Optional[Metrics]] = {}
+        db_usable = not self.path.exists()
+        if self.path.exists():
+            try:
+                conn = self._connect()
+                meta = _sqlite_meta(conn)
+                if meta.get("schema_version") == str(
+                    CACHE_SCHEMA_VERSION
+                ):
+                    db_usable = True
+                    for digest, text in conn.execute(
+                        "SELECT digest, metrics FROM entries"
+                    ):
+                        entries[digest] = (
+                            None if text is None
+                            else metrics_from_dict(json.loads(text))
+                        )
+            except sqlite3.OperationalError:
+                # Transient (locked, I/O): read as empty this run but
+                # leave the file alone — it may be healthy.
+                db_usable = False
+                entries = {}
+            except Exception:
+                # Same best-effort contract as the JSON store: a
+                # corrupt database reads as empty, never as a crash.
+                # Flag it so the next flush rotates and rebuilds even
+                # when the damage (e.g. one undecodable row) would not
+                # resurface as a sqlite3.DatabaseError there.
+                db_usable = False
+                entries = {}
+                self._unreadable = True
+        legacy = self.path.with_suffix(".json")
+        if not legacy.is_file():
+            return entries
+        legacy_entries = JsonCacheStore._read_entries(legacy)
+        if not legacy_entries:
+            return entries
+        if db_usable:
+            # Fold the sibling JSON in durably (database rows win) and
+            # retire the file — whether this is the first load after a
+            # backend switch or a json-backend writer landed entries
+            # next to an existing database. Later runs then read only
+            # the database: no repeated O(total) JSON parse, no
+            # shadowed entries, no double-counted stats. Skipped when
+            # the database is corrupt/stale: flush recovery would
+            # rotate the import away with it.
+            try:
+                self._upsert(legacy_entries, replace=False)
+            except sqlite3.Error:
+                pass
+            else:
+                legacy.unlink(missing_ok=True)
+        for digest, metrics in legacy_entries.items():
+            entries.setdefault(digest, metrics)
+        return entries
+
+    def _upsert(
+        self,
+        dirty: Dict[str, Optional[Metrics]],
+        replace: bool = True,
+    ) -> None:
+        conn = self._connect()
+        verb = "REPLACE" if replace else "IGNORE"
+        conn.executemany(
+            f"INSERT OR {verb} INTO entries (digest, metrics) "
+            f"VALUES (?, ?)",
+            [
+                (
+                    digest,
+                    None if metrics is None
+                    else json.dumps(metrics_to_dict(metrics)),
+                )
+                for digest, metrics in dirty.items()
+            ],
+        )
+        conn.commit()
+
+    def _check_schema(self) -> None:
+        if not self.path.exists():
             return
-        self._entries.update(self._read_entries(self.path))
+        meta = _sqlite_meta(self._connect())
+        if meta.get("schema_version") != str(CACHE_SCHEMA_VERSION):
+            raise _SchemaMismatch(meta.get("schema_version"))
+
+    def _rotate_aside(self, suffix: str) -> None:
+        self.close()
+        self.path.replace(self.path.with_name(self.path.name + suffix))
+        for sidecar in _sidecar_files(self.path):
+            sidecar.unlink(missing_ok=True)
+
+    def flush(
+        self,
+        entries: Dict[str, Optional[Metrics]],
+        dirty: Dict[str, Optional[Metrics]],
+    ) -> Dict[str, Optional[Metrics]]:
+        try:
+            if self._unreadable:
+                self._unreadable = False
+                raise sqlite3.DatabaseError(
+                    "database was undecodable at load"
+                )
+            self._check_schema()
+            self._upsert(dirty)
+        except sqlite3.OperationalError:
+            # Transient conditions — lock contention past the busy
+            # timeout, disk full, I/O errors — are not corruption; a
+            # concurrent writer may hold the file, so never rotate it
+            # away. (After _connect the meta/entries tables exist, so
+            # "no such table" cannot reach here.)
+            raise
+        except (sqlite3.DatabaseError, _SchemaMismatch) as error:
+            # Match the JSON store's behavior for a file this version
+            # cannot use (a torn or stale-schema file reads as empty
+            # and is overwritten on the next flush): set the database
+            # aside and rebuild it from memory at the current schema.
+            stale = isinstance(error, _SchemaMismatch)
+            self._rotate_aside(".stale" if stale else ".corrupt")
+            self._upsert(entries)
+        return entries
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+_STORE_CLASSES: Dict[str, type] = {
+    "json": JsonCacheStore,
+    "sqlite": SqliteCacheStore,
+}
+
+
+def _require_known_backend(backend: str) -> None:
+    if backend not in CACHE_BACKENDS:
+        raise CacheError(
+            f"unknown cache backend {backend!r}; supported: "
+            f"{', '.join(CACHE_BACKENDS)}"
+        )
+
+
+def resolve_backend(
+    directory: "str | Path", fingerprint: str, backend: str
+) -> str:
+    """The concrete backend for one fingerprint under ``directory``.
+
+    ``json``/``sqlite`` are honored as given; ``auto`` prefers an
+    existing database, upgrades a JSON file that has outgrown
+    :data:`AUTO_SQLITE_SIZE_BYTES`, and otherwise stays JSON.
+    """
+    _require_known_backend(backend)
+    if backend != "auto":
+        return backend
+    root = Path(directory)
+    if (root / f"{fingerprint}.db").exists():
+        return "sqlite"
+    try:
+        size = (root / f"{fingerprint}.json").stat().st_size
+    except OSError:
+        size = 0
+    return "sqlite" if size >= AUTO_SQLITE_SIZE_BYTES else "json"
+
+
+class PersistentCache:
+    """A dict-like store of evaluated pairs, backed by one
+    :class:`CacheStore` file.
+
+    Entries live in memory after load; :meth:`flush` persists new
+    entries through the backend (the JSON store merges and atomically
+    rewrites the whole file, the SQLite store upserts only the dirty
+    rows). ``None`` values are first-class (cached "unsupported"
+    verdicts). All operations are guarded by an internal lock, so an
+    engine can perform lookups while another thread flushes.
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        fingerprint: str,
+        backend: str = DEFAULT_CACHE_BACKEND,
+    ) -> None:
+        resolved = resolve_backend(directory, fingerprint, backend)
+        self.store: CacheStore = _STORE_CLASSES[resolved](
+            directory, fingerprint
+        )
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self._entries: Dict[str, Optional[Metrics]] = {}
+        self._dirty: Dict[str, Optional[Metrics]] = {}
+        self._lock = threading.Lock()
+        self._entries.update(self.store.load())
+
+    @classmethod
+    def for_estimator(
+        cls,
+        directory: "str | Path",
+        estimator: Estimator,
+        backend: str = DEFAULT_CACHE_BACKEND,
+    ) -> "PersistentCache":
+        return cls(
+            directory, estimator_fingerprint(estimator), backend=backend
+        )
+
+    @property
+    def backend(self) -> str:
+        """The resolved concrete backend name (``json``/``sqlite``)."""
+        return self.store.backend
+
+    @property
+    def path(self) -> Path:
+        """The backing file (suffix depends on the backend)."""
+        return self.store.path
 
     def get(self, design: str, workload_key: WorkloadKey) -> Any:
         """The cached metrics (possibly ``None``), or :data:`MISS`."""
@@ -189,68 +568,87 @@ class PersistentCache:
             return len(self._entries)
 
     def flush(self) -> None:
-        """Merge new entries into the on-disk file (atomic rename).
-
-        The read-merge step only happens when another writer changed
-        the file since this instance last touched it; the common
-        single-writer case serializes straight from memory.
-        """
+        """Persist entries added since the last flush."""
         with self._lock:
             if not self._dirty:
                 return
-            self.directory.mkdir(parents=True, exist_ok=True)
-            entries = dict(self._entries)
-            if self._stat() != self._disk_state:
-                # Foreign writes landed: merge them under ours.
-                for digest, entry in self._read_entries(
-                    self.path
-                ).items():
-                    entries.setdefault(digest, entry)
-            payload = {
-                "schema_version": CACHE_SCHEMA_VERSION,
-                "fingerprint": self.fingerprint,
-                "entries": {
-                    digest: (
-                        None if metrics is None
-                        else metrics_to_dict(metrics)
-                    )
-                    for digest, metrics in entries.items()
-                },
-            }
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, prefix=".cache-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle)
-                os.replace(tmp, self.path)
-            except BaseException:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-                raise
-            self._entries = entries
+            # No snapshot copies: the lock is held for the duration,
+            # and the JSON store builds its own merged dict (the
+            # SQLite store reads ``entries`` only on corruption
+            # recovery), so the SQLite flush stays O(dirty).
+            self._entries = self.store.flush(self._entries, self._dirty)
             self._dirty.clear()
-            self._disk_state = self._stat()
+
+    def close(self) -> None:
+        """Flush pending entries and release backend resources (the
+        store reopens lazily, so a closed cache stays usable). The
+        store is closed even when the final flush fails — a full disk
+        must not leak the SQLite connection."""
+        try:
+            self.flush()
+        finally:
+            with self._lock:
+                self.store.close()
 
 
-#: Cache files are named <16-hex-digit fingerprint>.json — the strict
-#: pattern keeps ``cache clear``/``stats`` away from unrelated JSON
-#: (run records, benchmark output) a user may keep in the same
+# --- directory-level maintenance (stats / clear / merge / migrate) ------
+
+#: Cache files are named <16-hex-digit fingerprint>.json or .db — the
+#: strict pattern keeps ``cache clear``/``stats`` away from unrelated
+#: files (run records, benchmark output) a user may keep in the same
 #: directory.
-_CACHE_FILE_RE = re.compile(r"^[0-9a-f]{16}\.json$")
+_CACHE_FILE_RE = re.compile(r"^[0-9a-f]{16}\.(json|db)$")
+
+#: Databases the SQLite store set aside during flush recovery
+#: (unusable, but they occupy space: ``stats`` reports them and
+#: ``clear`` deletes them).
+_ROTATED_FILE_RE = re.compile(r"^[0-9a-f]{16}\.db\.(corrupt|stale)$")
 
 
 def cache_files(directory: "str | Path") -> Tuple[Path, ...]:
-    """All cache files under a directory (one per fingerprint)."""
+    """All cache files under a directory, both backends."""
     root = Path(directory)
     if not root.is_dir():
         return ()
     return tuple(
         sorted(
-            path for path in root.glob("*.json")
+            path for path in root.iterdir()
             if _CACHE_FILE_RE.match(path.name)
         )
     )
+
+
+def _rotated_files(directory: "str | Path") -> Tuple[Path, ...]:
+    root = Path(directory)
+    if not root.is_dir():
+        return ()
+    return tuple(
+        sorted(
+            path for path in root.iterdir()
+            if _ROTATED_FILE_RE.match(path.name)
+        )
+    )
+
+
+def _count_entries(path: Path) -> int:
+    """Best-effort entry count of one cache file (0 on corruption)."""
+    if path.suffix == ".db":
+        try:
+            conn = _sqlite_connect_ro(path)
+            try:
+                (count,) = conn.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()
+                return int(count)
+            finally:
+                conn.close()
+        except sqlite3.Error:
+            return 0
+    try:
+        data = json.loads(path.read_text())
+        return len(data.get("entries", {}))
+    except (OSError, json.JSONDecodeError):
+        return 0
 
 
 def cache_stats(directory: "str | Path") -> Dict[str, Any]:
@@ -259,16 +657,24 @@ def cache_stats(directory: "str | Path") -> Dict[str, Any]:
     per_file = []
     total_entries = 0
     for path in files:
-        try:
-            data = json.loads(path.read_text())
-            entries = len(data.get("entries", {}))
-        except (OSError, json.JSONDecodeError):
-            entries = 0
+        entries = _count_entries(path)
         total_entries += entries
         per_file.append(
             {
                 "file": path.name,
+                "backend": "sqlite" if path.suffix == ".db" else "json",
                 "entries": entries,
+                "bytes": path.stat().st_size,
+            }
+        )
+    for path in _rotated_files(directory):
+        # Set aside by flush recovery: no usable entries, but their
+        # bytes are real and ``clear`` reclaims them.
+        per_file.append(
+            {
+                "file": path.name,
+                "backend": "rotated",
+                "entries": 0,
                 "bytes": path.stat().st_size,
             }
         )
@@ -279,17 +685,61 @@ def cache_stats(directory: "str | Path") -> Dict[str, Any]:
     }
 
 
+def _sidecar_files(path: Path) -> Tuple[Path, ...]:
+    """A SQLite file's WAL/shared-memory companions (may not exist)."""
+    if path.suffix != ".db":
+        return ()
+    return (
+        path.with_name(path.name + "-wal"),
+        path.with_name(path.name + "-shm"),
+    )
+
+
 def clear_cache(directory: "str | Path") -> int:
-    """Delete all cache files under ``directory``; returns the count."""
+    """Delete all cache files under ``directory``; returns the count
+    (SQLite WAL sidecars and rotated ``.corrupt``/``.stale`` databases
+    are removed but not counted)."""
     files = cache_files(directory)
     for path in files:
+        path.unlink()
+        for sidecar in _sidecar_files(path):
+            sidecar.unlink(missing_ok=True)
+    for path in _rotated_files(directory):
         path.unlink()
     return len(files)
 
 
-def _read_raw_cache(path: Path) -> Dict[str, Any]:
-    """One cache file's raw payload — loud, unlike the best-effort
-    runtime reads: merging should never silently drop a shard."""
+def _read_raw_entries(path: Path) -> Dict[str, Optional[Dict[str, Any]]]:
+    """One cache file's raw entries — loud, unlike the best-effort
+    runtime reads: merging/migrating should never silently drop a
+    shard. The fingerprint field is *required* and must match the file
+    name; a file missing it is refused rather than waved through.
+    """
+    if path.suffix == ".db":
+        try:
+            conn = _sqlite_connect_ro(path)
+        except sqlite3.Error as error:
+            raise CacheError(f"cannot read cache file {path}: {error}")
+        try:
+            meta = _sqlite_meta(conn)
+            rows = conn.execute(
+                "SELECT digest, metrics FROM entries"
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise CacheError(f"cannot read cache file {path}: {error}")
+        finally:
+            conn.close()
+        schema = meta.get("schema_version")
+        if schema != str(CACHE_SCHEMA_VERSION):
+            raise CacheError(
+                f"{path} has cache schema {schema!r}; this version "
+                f"reads schema {CACHE_SCHEMA_VERSION}"
+            )
+        _require_fingerprint(path, meta.get("fingerprint"))
+        return {
+            digest: (None if text is None else json.loads(text))
+            for digest, text in rows
+        }
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
@@ -300,17 +750,125 @@ def _read_raw_cache(path: Path) -> Dict[str, Any]:
             f"{data.get('schema_version')!r}; this version reads "
             f"schema {CACHE_SCHEMA_VERSION}"
         )
-    if data.get("fingerprint", path.stem) != path.stem:
+    _require_fingerprint(path, data.get("fingerprint"))
+    return data.get("entries", {})
+
+
+def _require_fingerprint(path: Path, fingerprint: Any) -> None:
+    if fingerprint is None:
         raise CacheError(
-            f"{path} records fingerprint {data.get('fingerprint')!r} "
+            f"{path} is missing the fingerprint field; refusing to "
+            f"treat an unidentified file as cache shard {path.stem!r}"
+        )
+    if fingerprint != path.stem:
+        raise CacheError(
+            f"{path} records fingerprint {fingerprint!r} "
             f"but is named {path.stem!r}"
         )
-    return data
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=".cache-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def _write_raw_json(
+    path: Path,
+    fingerprint: str,
+    entries: Dict[str, Optional[Dict[str, Any]]],
+) -> None:
+    _atomic_write_json(
+        path,
+        {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "entries": entries,
+        },
+    )
+
+
+def _write_raw_sqlite(
+    path: Path,
+    fingerprint: str,
+    entries: Dict[str, Optional[Dict[str, Any]]],
+    replace: bool = True,
+) -> None:
+    conn = _sqlite_connect_rw(path, fingerprint)
+    verb = "REPLACE" if replace else "IGNORE"
+    try:
+        conn.executemany(
+            f"INSERT OR {verb} INTO entries (digest, metrics) "
+            f"VALUES (?, ?)",
+            [
+                (digest, None if raw is None else json.dumps(raw))
+                for digest, raw in entries.items()
+            ],
+        )
+        conn.commit()
+    finally:
+        conn.close()
+
+
+def _ordered_by_format(files: "Tuple[Path, ...] | List[Path]") -> List[Path]:
+    """JSON first, SQLite last — so a dict built by successive updates
+    lets database rows win over a stale legacy JSON sibling."""
+    return sorted(files, key=lambda path: path.suffix == ".db")
+
+
+def migrate_cache_dir(directory: "str | Path") -> Dict[str, Any]:
+    """Convert every JSON cache file under ``directory`` to SQLite in
+    place (``repro cache migrate``).
+
+    Each ``<fingerprint>.json`` is folded into ``<fingerprint>.db``
+    (existing database rows win — they are newer) and then deleted.
+    Reads are loud: a corrupt or misnamed shard raises
+    :class:`~repro.errors.CacheError` before anything is deleted.
+    Returns a summary dict (per-file entry counts, totals).
+    """
+    root = Path(directory)
+    migrated: List[Dict[str, Any]] = []
+    total = 0
+    for path in cache_files(root):
+        if path.suffix != ".json":
+            continue
+        entries = _read_raw_entries(path)
+        db_path = path.with_suffix(".db")
+        if db_path.is_file():
+            # Validate the fold-into destination as loudly as the
+            # source: folding rows into a corrupt or stale-schema
+            # database and then deleting the JSON would lose them.
+            _read_raw_entries(db_path)
+        _write_raw_sqlite(db_path, path.stem, entries, replace=False)
+        path.unlink()
+        migrated.append(
+            {
+                "fingerprint": path.stem,
+                "entries": len(entries),
+                "path": str(db_path),
+            }
+        )
+        total += len(entries)
+    return {
+        "directory": str(root),
+        "files": migrated,
+        "total_entries": total,
+    }
 
 
 def merge_cache_dirs(
     sources: "Tuple[str | Path, ...] | list",
     dest: "str | Path",
+    backend: str = DEFAULT_CACHE_BACKEND,
 ) -> Dict[str, Any]:
     """Merge the cache files of ``sources`` into ``dest`` (one file).
 
@@ -320,28 +878,32 @@ def merge_cache_dirs(
     directories must therefore hold exactly one, identical estimator
     fingerprint — mixing fingerprints would silently interleave
     incompatible cost models, so it raises
-    :class:`~repro.errors.CacheError` instead. Entries are content-
-    keyed, so overlapping shards merge idempotently; an existing
-    ``dest`` file of the same fingerprint is merged under the sources.
+    :class:`~repro.errors.CacheError` instead. Shards may be stored in
+    either backend (a directory holding both formats of one fingerprint
+    contributes their union, database rows winning). Entries are
+    content-keyed, so overlapping shards merge idempotently; existing
+    ``dest`` files of the same fingerprint are merged under the sources
+    and consolidated into a single file of the resolved ``backend``
+    (``auto``: keep the dest's current format, or pick SQLite for
+    fresh merges of :data:`AUTO_SQLITE_ENTRIES`+ entries).
 
-    Returns a summary dict (``fingerprint``, ``path``, per-source and
-    total entry counts, how many were new to ``dest``).
+    Returns a summary dict (``fingerprint``, ``path``, ``backend``,
+    per-source and total entry counts, how many were new to ``dest``).
     """
+    _require_known_backend(backend)
     per_dir: Dict[str, Tuple[Path, ...]] = {}
     for source in sources:
         files = cache_files(source)
         if not files:
             raise CacheError(
                 f"no cache files under {source} (expected "
-                f"<fingerprint>.json; is this a --cache-dir?)"
+                f"<fingerprint>.json or .db; is this a --cache-dir?)"
             )
         per_dir[str(source)] = files
     fingerprints = {
         path.stem for files in per_dir.values() for path in files
     }
-    if len(fingerprints) != 1 or any(
-        len(files) != 1 for files in per_dir.values()
-    ):
+    if len(fingerprints) != 1:
         detail = "; ".join(
             f"{source}: {', '.join(path.stem for path in files)}"
             for source, files in per_dir.items()
@@ -352,40 +914,52 @@ def merge_cache_dirs(
             f"same estimator, one fingerprint per directory"
         )
     fingerprint = fingerprints.pop()
-    merged: Dict[str, Any] = {}
+    merged: Dict[str, Optional[Dict[str, Any]]] = {}
     source_counts: Dict[str, int] = {}
     for source, files in per_dir.items():
-        entries = _read_raw_cache(files[0]).get("entries", {})
-        source_counts[source] = len(entries)
-        merged.update(entries)
+        dir_entries: Dict[str, Optional[Dict[str, Any]]] = {}
+        for path in _ordered_by_format(files):
+            dir_entries.update(_read_raw_entries(path))
+        source_counts[source] = len(dir_entries)
+        merged.update(dir_entries)
     dest_dir = Path(dest)
-    dest_path = dest_dir / f"{fingerprint}.json"
-    existing = 0
-    if dest_path.is_file():
-        dest_entries = _read_raw_cache(dest_path).get("entries", {})
-        existing = len(dest_entries)
-        for digest, entry in dest_entries.items():
-            merged.setdefault(digest, entry)
-    dest_dir.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "schema_version": CACHE_SCHEMA_VERSION,
-        "fingerprint": fingerprint,
-        "entries": merged,
-    }
-    fd, tmp = tempfile.mkstemp(
-        dir=dest_dir, prefix=".cache-", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, dest_path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
+    dest_json = dest_dir / f"{fingerprint}.json"
+    dest_db = dest_dir / f"{fingerprint}.db"
+    existing_entries: Dict[str, Optional[Dict[str, Any]]] = {}
+    for path in _ordered_by_format(
+        [p for p in (dest_json, dest_db) if p.is_file()]
+    ):
+        existing_entries.update(_read_raw_entries(path))
+    existing = len(existing_entries)
+    for digest, entry in existing_entries.items():
+        merged.setdefault(digest, entry)
+    if backend != "auto":
+        dest_backend = backend
+    elif dest_db.is_file():
+        dest_backend = "sqlite"
+    elif dest_json.is_file():
+        dest_backend = "json"
+    else:
+        dest_backend = (
+            "sqlite" if len(merged) >= AUTO_SQLITE_ENTRIES else "json"
+        )
+    if dest_backend == "sqlite":
+        _write_raw_sqlite(dest_db, fingerprint, merged)
+        absorbed = dest_json
+    else:
+        _write_raw_json(dest_json, fingerprint, merged)
+        absorbed = dest_db
+        for sidecar in _sidecar_files(dest_db):
+            sidecar.unlink(missing_ok=True)
+    # The other-format dest file (if any) is fully folded in above;
+    # leaving it behind would double-count in stats and shadow the
+    # merge under the auto backend.
+    absorbed.unlink(missing_ok=True)
+    dest_path = dest_db if dest_backend == "sqlite" else dest_json
     return {
         "fingerprint": fingerprint,
         "path": str(dest_path),
+        "backend": dest_backend,
         "sources": source_counts,
         "total_entries": len(merged),
         "new_entries": len(merged) - existing,

@@ -323,6 +323,8 @@ class SweepEngine:
         self._lock = threading.Lock()
         self._instances: Dict[str, AcceleratorDesign] = {}
         self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        self._thread_pool_jobs = 0
 
     @classmethod
     def shared(cls, estimator: Optional[Estimator] = None) -> "SweepEngine":
@@ -359,21 +361,70 @@ class SweepEngine:
 
     def _worker_pool(self) -> ProcessPoolExecutor:
         """The engine's lazily created process pool, reused across
-        batches so worker spawn + estimator transfer are paid once."""
-        if self._process_pool is None:
-            self._process_pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_init_worker,
-                initargs=(self.estimator.table, self.estimator._plugins),
-            )
-        return self._process_pool
+        batches so worker spawn + estimator transfer are paid once.
+        Creation is lock-guarded: concurrent cold callers must share
+        one pool, not leak one."""
+        with self._lock:
+            if self._process_pool is None:
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(
+                        self.estimator.table, self.estimator._plugins
+                    ),
+                )
+            return self._process_pool
+
+    def _thread_worker_pool(self) -> ThreadPoolExecutor:
+        """The engine's lazily created thread pool, reused across
+        batches (mirroring the cached process pool) and rebuilt only
+        when ``jobs`` changes. A stale pool is shut down without
+        waiting, outside the lock: its already-submitted work still
+        runs to completion (so a concurrent caller iterating its map
+        is unaffected), and waiting under the lock could deadlock
+        against workers calling :meth:`design`."""
+        stale: Optional[ThreadPoolExecutor] = None
+        with self._lock:
+            if (
+                self._thread_pool is not None
+                and self._thread_pool_jobs != self.jobs
+            ):
+                stale, self._thread_pool = self._thread_pool, None
+            if self._thread_pool is None:
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=self.jobs
+                )
+                self._thread_pool_jobs = self.jobs
+            pool = self._thread_pool
+        if stale is not None:
+            stale.shutdown(wait=False)
+        return pool
 
     def close(self) -> None:
-        """Release the process pool (no-op for thread/serial engines;
-        safe to call repeatedly)."""
-        if self._process_pool is not None:
-            self._process_pool.shutdown()
-            self._process_pool = None
+        """Flush the persistent cache and release worker pools.
+
+        Safe to call repeatedly, and the engine stays usable afterwards
+        (pools and the cache's backing store reopen lazily). The CLI
+        calls this on every exit path so an interrupt mid-grid still
+        persists every completed evaluation (results are recorded and
+        flushed incrementally in :meth:`evaluate_workloads`; queued
+        work that never started is cancelled, not drained).
+        """
+        try:
+            if self.persistent is not None:
+                self.persistent.close()
+        finally:
+            # Pools must come down even when the flush fails (disk
+            # full, lock contention) — and on Ctrl-C, a flush error
+            # must not bury the KeyboardInterrupt with lingering
+            # worker processes.
+            with self._lock:
+                process, self._process_pool = self._process_pool, None
+                thread, self._thread_pool = self._thread_pool, None
+            if process is not None:
+                process.shutdown(cancel_futures=True)
+            if thread is not None:
+                thread.shutdown(cancel_futures=True)
 
     def __del__(self) -> None:  # pragma: no cover - interpreter exit
         try:
@@ -381,17 +432,20 @@ class SweepEngine:
         except Exception:
             pass
 
-    def _run_batch(self, pending: List[Pair]) -> List[Optional[Metrics]]:
+    def _run_batch(self, pending: List[Pair]):
+        """Results for ``pending``, yielded lazily in order as they
+        complete (``Executor.map`` streams in submission order), so the
+        caller can record and persist each one before the next — an
+        interrupt mid-batch keeps everything already evaluated."""
         if self.jobs > 1 and len(pending) > 1:
             if self.backend == "process":
-                return list(
-                    self._worker_pool().map(
-                        _evaluate_pair_in_worker, pending
-                    )
+                return self._worker_pool().map(
+                    _evaluate_pair_in_worker, pending
                 )
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                return list(pool.map(self._evaluate_pair, pending))
-        return [self._evaluate_pair(pair) for pair in pending]
+            return self._thread_worker_pool().map(
+                self._evaluate_pair, pending
+            )
+        return (self._evaluate_pair(pair) for pair in pending)
 
     def evaluate_workloads(
         self, pairs: Sequence[Pair]
@@ -434,18 +488,30 @@ class SweepEngine:
                         self.stats.misses += 1
         if own:
             try:
+                # Record each result as it completes rather than after
+                # the whole batch: a Ctrl-C at 90% of a grid must keep
+                # the 90%, and a whole grid is typically one batch.
                 results = self._run_batch(list(own.values()))
+                for key, metrics in zip(own, results):
+                    with self._lock:
+                        self._cache[key] = metrics
+                        if self.persistent is not None:
+                            self.persistent.put(key[0], key[1], metrics)
+                        self._inflight.pop(key).set()
             except BaseException:
                 with self._lock:
                     for key in own:
-                        self._inflight.pop(key).set()
+                        event = self._inflight.pop(key, None)
+                        if event is not None:
+                            event.set()
+                # Persist everything that did complete before
+                # propagating — the interrupt-durability path.
+                if self.persistent is not None:
+                    try:
+                        self.persistent.flush()
+                    except Exception:
+                        pass
                 raise
-            with self._lock:
-                for key, metrics in zip(own, results):
-                    self._cache[key] = metrics
-                    if self.persistent is not None:
-                        self.persistent.put(key[0], key[1], metrics)
-                    self._inflight.pop(key).set()
             # Disk I/O stays outside the engine lock (the cache has its
             # own); other threads keep hitting the in-memory cache
             # while the merged file is rewritten.
@@ -559,6 +625,14 @@ class EngineContext:
             return None
         return str(self.engine.persistent.directory)
 
+    @property
+    def cache_backend(self) -> Optional[str]:
+        """The resolved cache storage backend (``json``/``sqlite``),
+        when a persistent cache is attached."""
+        if self.engine.persistent is None:
+            return None
+        return self.engine.persistent.backend
+
     @classmethod
     def create(
         cls,
@@ -566,6 +640,7 @@ class EngineContext:
         jobs: int = 1,
         backend: str = "thread",
         cache_dir: "Optional[str]" = None,
+        cache_backend: str = cache_mod.DEFAULT_CACHE_BACKEND,
         record: Optional[str] = None,
     ) -> "EngineContext":
         """Build a context from invocation settings (the CLI path)."""
@@ -573,7 +648,7 @@ class EngineContext:
         if cache_dir is not None:
             engine.attach_cache(
                 cache_mod.PersistentCache.for_estimator(
-                    cache_dir, engine.estimator
+                    cache_dir, engine.estimator, backend=cache_backend
                 )
             )
         return cls(engine=engine, record_path=record)

@@ -27,7 +27,7 @@ from repro.accelerators.base import AcceleratorDesign
 from repro.arch import area_breakdown, table4
 from repro.arch.area import AreaModel
 from repro.dnn.models import DnnModel, all_models
-from repro.errors import WorkloadError
+from repro.errors import EvaluationError, WorkloadError
 from repro.eval.engine import (
     DEFAULT_A_DEGREES,
     DEFAULT_B_DEGREES,
@@ -606,7 +606,14 @@ def fig2(ctx: ContextLike = None) -> Fig2Result:
             ),
         }
         baseline = evaluate_model(designs["TC"], model, 0.0, ctx)
-        assert baseline is not None
+        if baseline is None:
+            # Not an assert: under ``python -O`` asserts are stripped
+            # and a None baseline would surface later as an opaque
+            # AttributeError on ``baseline.edp``.
+            raise EvaluationError(
+                f"the dense TC baseline evaluation for {model_name} "
+                f"returned None; cannot normalize Fig. 2 EDPs"
+            )
         results[model_name] = {}
         per_layer_out[model_name] = {}
         for design_name, design in designs.items():
@@ -693,9 +700,17 @@ def _pareto_points(
 ) -> List[ParetoPoint]:
     """Fold a network sweep into Fig. 15-style Pareto points."""
     accuracy = AccuracyModel.for_model(model)
-    assert sweep.baseline is not None
+    if sweep.baseline is None:
+        raise EvaluationError(
+            f"network sweep of {sweep.model} has no baseline; cannot "
+            f"fold it into Pareto points"
+        )
     baseline = sweep.evaluations[sweep.baseline]
-    assert baseline is not None
+    if baseline is None:
+        raise EvaluationError(
+            f"the baseline evaluation {sweep.baseline!r} of "
+            f"{sweep.model} returned None; cannot normalize EDPs"
+        )
     points: List[ParetoPoint] = []
     for design_name, degree, evaluation in sweep.rows():
         if evaluation is None:

@@ -449,6 +449,104 @@ class TestCacheSubcommand:
         assert str(cache_dir) in capsys.readouterr().out
 
 
+class TestCacheBackendOption:
+    def test_sqlite_backend_end_to_end(self, tmp_path, capsys):
+        """`--cache-backend sqlite` writes a .db and a warm rerun (via
+        auto detection) performs zero evaluations."""
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "sweep", "--designs", "TC,HighLight",
+            "--a-degrees", "0.5", "--b-degrees", "0.0",
+            "--size", "128", "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv + ["--cache-backend", "sqlite"]) == 0
+        assert list(cache_dir.glob("*.db"))
+        assert not list(cache_dir.glob("*.json"))
+        record_path = tmp_path / "warm.json"
+        assert main(argv + ["--record", str(record_path)]) == 0
+        capsys.readouterr()
+        record = json.loads(record_path.read_text())
+        assert record["cache"]["evaluations"] == 0
+        assert record["cache"]["disk_hits"] > 0
+
+    def test_stats_show_backend_column(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "sweep", "--designs", "TC", "--a-degrees", "0.0",
+            "--b-degrees", "0.0", "--size", "128",
+            "--cache-dir", str(cache_dir),
+            "--cache-backend", "sqlite",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert ".db" in out
+        assert "sqlite" in out
+
+    def test_migrate_converts_json_to_sqlite(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        fill = [
+            "sweep", "--designs", "TC,HighLight",
+            "--a-degrees", "0.5", "--b-degrees", "0.0",
+            "--size", "128", "--cache-dir", str(cache_dir),
+        ]
+        assert main(fill + ["--cache-backend", "json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "migrate", "--cache-dir",
+                     str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 1 file(s)" in out
+        assert not list(cache_dir.glob("*.json"))
+        assert list(cache_dir.glob("*.db"))
+        # The migrated cache serves a warm run untouched.
+        record_path = tmp_path / "warm.json"
+        assert main(fill + ["--record", str(record_path)]) == 0
+        record = json.loads(record_path.read_text())
+        assert record["cache"]["evaluations"] == 0
+
+    def test_migrate_on_empty_directory(self, tmp_path, capsys):
+        (tmp_path / "empty").mkdir()
+        assert main(["cache", "migrate", "--cache-dir",
+                     str(tmp_path / "empty")]) == 0
+        assert "no JSON cache files" in capsys.readouterr().out
+
+    def test_merge_backend_controls_dest_format(self, tmp_path, capsys):
+        shard = tmp_path / "s1"
+        assert main([
+            "sweep", "--designs", "TC", "--a-degrees", "0.0",
+            "--b-degrees", "0.0", "--size", "128",
+            "--cache-dir", str(shard),
+        ]) == 0
+        merged = tmp_path / "merged"
+        capsys.readouterr()
+        assert main([
+            "cache", "merge", str(shard), "--cache-dir", str(merged),
+            "--cache-backend", "sqlite",
+        ]) == 0
+        assert "(sqlite)" in capsys.readouterr().out
+        assert list(merged.glob("*.db"))
+
+    def test_bad_backend_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", "--designs", "TC", "--cache-dir",
+                str(tmp_path), "--cache-backend", "shelve",
+            ])
+
+    def test_cache_backend_rejected_outside_merge(self, tmp_path,
+                                                  capsys):
+        """'cache migrate --cache-backend json' must not exit 0 while
+        converting to sqlite anyway."""
+        for action in ("stats", "clear", "migrate"):
+            with pytest.raises(SystemExit):
+                main([
+                    "cache", action, "--cache-dir", str(tmp_path),
+                    "--cache-backend", "json",
+                ])
+            assert "cache merge" in capsys.readouterr().err
+
+
 class TestListSubcommand:
     def test_lists_all_designs_and_artifacts(self, capsys):
         assert main(["list"]) == 0

@@ -6,6 +6,7 @@ import pytest
 
 from repro.energy import Estimator
 from repro.errors import EvaluationError
+from repro.eval.cache import MISS, PersistentCache
 from repro.eval.engine import (
     Cell,
     SweepEngine,
@@ -172,6 +173,37 @@ class TestParallelism:
             engine.close()
         assert engine._process_pool is None
 
+    def test_thread_pool_reused_across_batches(self):
+        """The thread backend keeps one executor alive across batches
+        (mirroring the cached process pool) instead of paying pool
+        construction per ``_run_batch``."""
+        engine = SweepEngine(jobs=2, backend="thread")
+        try:
+            engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
+                         b_degrees=(0.0,), m=64, k=64, n=64)
+            pool = engine._thread_pool
+            assert pool is not None
+            engine.sweep(designs=("DSTC",), a_degrees=(0.0, 0.5),
+                         b_degrees=(0.0,), m=64, k=64, n=64)
+            assert engine._thread_pool is pool
+        finally:
+            engine.close()
+        assert engine._thread_pool is None
+
+    def test_thread_pool_rebuilt_when_jobs_change(self):
+        engine = SweepEngine(jobs=2, backend="thread")
+        try:
+            engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
+                         b_degrees=(0.0,), m=64, k=64, n=64)
+            pool = engine._thread_pool
+            engine.jobs = 3
+            engine.sweep(designs=("DSTC",), a_degrees=(0.0, 0.5),
+                         b_degrees=(0.0,), m=64, k=64, n=64)
+            assert engine._thread_pool is not pool
+            assert engine._thread_pool_jobs == 3
+        finally:
+            engine.close()
+
     def test_process_initargs_stay_picklable_after_shared_use(self):
         """A used estimator carries the shared engine (locks/events)
         and cannot be pickled — which is why the process backend ships
@@ -254,3 +286,91 @@ class TestSweep:
 
     def test_design_instances_reused(self, engine):
         assert engine.design("TC") is engine.design("TC")
+
+
+class TestClose:
+    """``close()`` is the interrupt-safety valve: dirty persistent
+    entries must reach disk even when a run stops mid-grid."""
+
+    def test_close_flushes_dirty_persistent_entries(self, tmp_path):
+        estimator = Estimator()
+        cache = PersistentCache.for_estimator(tmp_path, estimator)
+        engine = SweepEngine(estimator, cache=cache)
+        workload = synthetic_workload(0.5, 0.25, size=128)
+        # Simulate an interrupt landing between put and flush (the
+        # engine normally flushes at the end of each batch).
+        cache.put("TC", workload.key(), None)
+        assert not cache.path.exists()
+        engine.close()
+        reloaded = PersistentCache.for_estimator(tmp_path, estimator)
+        assert reloaded.get("TC", workload.key()) is not MISS
+
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_interrupt_mid_batch_keeps_completed_evaluations(
+        self, tmp_path, jobs
+    ):
+        """The headline durability scenario: a whole grid is one batch,
+        and Ctrl-C partway through must persist the evaluations that
+        already completed (results are recorded incrementally, and the
+        failure path flushes before propagating)."""
+        estimator = Estimator()
+        cache = PersistentCache.for_estimator(tmp_path, estimator)
+        engine = SweepEngine(estimator, jobs=jobs, cache=cache)
+        workloads = [
+            synthetic_workload(0.5, degree, size=128)
+            for degree in (0.0, 0.25, 0.5, 0.75)
+        ]
+        real = engine._evaluate_pair
+        calls = []
+
+        def interrupting(pair):
+            # >= so no pair submitted after the first interrupt can
+            # still evaluate (its result would never be consumed).
+            if len(calls) >= 2:
+                raise KeyboardInterrupt
+            result = real(pair)
+            calls.append(pair)
+            return result
+
+        engine._evaluate_pair = interrupting
+        with pytest.raises(KeyboardInterrupt):
+            engine.evaluate_workloads(
+                [("TC", w) for w in workloads]
+            )
+        engine.close()
+        reloaded = PersistentCache.for_estimator(tmp_path, estimator)
+        for _, workload in calls:
+            assert reloaded.get("TC", workload.key()) is not MISS
+        assert len(calls) >= 1
+
+    def test_close_is_idempotent_and_engine_stays_usable(self, tmp_path):
+        estimator = Estimator()
+        engine = SweepEngine(
+            estimator,
+            cache=PersistentCache.for_estimator(tmp_path, estimator),
+        )
+        workload = synthetic_workload(0.5, 0.25, size=128)
+        engine.close()
+        engine.close()
+        (metrics,) = engine.evaluate_workloads([("TC", workload)])
+        assert metrics is not None
+        engine.close()
+
+    def test_pools_shut_down_even_when_cache_close_fails(self, tmp_path):
+        """A failing flush (disk full, lock contention) must not leave
+        worker pools lingering, and the original error propagates."""
+        estimator = Estimator()
+        cache = PersistentCache.for_estimator(tmp_path, estimator)
+        engine = SweepEngine(estimator, jobs=2, cache=cache)
+        engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
+                     b_degrees=(0.0,), m=64, k=64, n=64)
+        assert engine._thread_pool is not None
+
+        def failing_close():
+            raise OSError("disk full")
+
+        cache.close = failing_close
+        with pytest.raises(OSError, match="disk full"):
+            engine.close()
+        assert engine._thread_pool is None
+        assert engine._process_pool is None

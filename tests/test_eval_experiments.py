@@ -132,6 +132,19 @@ class TestFig2(object):
             for design, bars in per_design.items():
                 assert len(bars) > 0
 
+    def test_none_baseline_raises_explicitly(self, monkeypatch):
+        """A None TC baseline must raise an EvaluationError, not rely
+        on ``assert`` (stripped under ``python -O``, where it would
+        surface later as an AttributeError on ``baseline.edp``)."""
+        from repro.errors import EvaluationError, ReproError
+
+        monkeypatch.setattr(
+            E, "evaluate_model", lambda *args, **kwargs: None
+        )
+        with pytest.raises(EvaluationError, match="TC baseline"):
+            E.fig2()
+        assert issubclass(EvaluationError, ReproError)
+
 
 class TestFig15:
     def test_highlight_on_all_frontiers(self, pareto):

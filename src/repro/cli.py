@@ -20,13 +20,18 @@ all``. Artifacts: ``tables``, ``fig2``, ``fig6``, ``fig13``, ``fig14``,
 Artifacts are declarative specs in the
 :data:`~repro.eval.artifacts.ARTIFACTS` registry: each computes a
 structured result and renders it as ``--format text`` (default, the
-historical output), ``json``, or ``csv``. One invocation builds a
-single :class:`~repro.eval.engine.EngineContext` — estimator, memoizing
+historical output), ``json``, ``csv``, or ``md`` (composable markdown
+sections — ``repro report --format md`` stacks them into an
+EXPERIMENTS.md). One invocation builds a single
+:class:`~repro.eval.engine.EngineContext` — estimator, memoizing
 :class:`~repro.eval.engine.SweepEngine`, ``--jobs``/``--backend``
-execution policy, optional ``--cache-dir`` persistent cache — and
-threads it through every experiment, so ``repro all`` evaluates each
-unique (design, workload) pair exactly once, in parallel if asked, and
-resumes from disk across runs.
+execution policy, optional ``--cache-dir`` persistent cache — and runs
+a :class:`~repro.eval.artifacts.RunPlan` over it, so ``repro all``
+evaluates each unique (design, workload) pair exactly once, in
+parallel if asked, and resumes from disk across runs. ``--stream``
+consumes the plan's event stream instead of the batch view: each
+artifact prints the moment its compute returns, with its own scoped
+cache-hit/evaluation counts.
 """
 
 from __future__ import annotations
@@ -50,7 +55,15 @@ from repro.errors import CacheError, EvaluationError, WorkloadError
 from repro.eval import cache as cache_mod
 from repro.eval import experiments as E
 from repro.eval import reporting as R
-from repro.eval.artifacts import ARTIFACTS, FORMATS, compute_artifacts
+from repro.eval.artifacts import (
+    ARTIFACTS,
+    FORMATS,
+    ArtifactFinished,
+    RunFinished,
+    RunPlan,
+    compute_artifacts,
+    stats_by_artifact,
+)
 from repro.eval.engine import (
     BACKENDS,
     GEOMEAN_METRICS,
@@ -208,7 +221,15 @@ def build_parser() -> argparse.ArgumentParser:
     artifact.add_argument(
         "--format", choices=FORMATS, default="text", dest="fmt",
         help="output format (default text; json/csv render each "
-        "artifact's structured payload)",
+        "artifact's structured payload; md emits composable markdown "
+        "sections)",
+    )
+    artifact.add_argument(
+        "--stream", action="store_true",
+        help="print each artifact the moment its compute returns, "
+        "with its own cache-hit/evaluation counts on stderr (same "
+        "total stdout as batch mode; --format json streams one "
+        "object per artifact)",
     )
     _add_engine_options(artifact)
     artifact.add_argument(
@@ -311,6 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="EXPERIMENTS.md", metavar="PATH",
         help="destination path (default EXPERIMENTS.md)",
     )
+    report.add_argument(
+        "--format", choices=("full", "md"), default="full",
+        dest="report_format",
+        help="'full' (default) writes the annotated paper-vs-measured "
+        "record; 'md' composes the document from each artifact's "
+        "registry markdown section",
+    )
+    _add_engine_options(report)
     return parser
 
 
@@ -340,6 +369,44 @@ def _build_context(args: argparse.Namespace) -> EngineContext:
     )
 
 
+def _print_streamed_artifact(event: ArtifactFinished, fmt: str) -> None:
+    """One artifact's render, the moment its compute returned.
+
+    Text-like formats reproduce the batch layout exactly (sections
+    separated by one blank line), so piping ``--stream`` output is
+    byte-identical to batch mode; ``json`` streams one self-contained
+    object per artifact (payload + scoped stats) instead of batch
+    mode's single keyed document.
+    """
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "artifact": event.name,
+                    "payload": event.result.to_payload(),
+                    "stats": event.stats.as_dict(),
+                }
+            ),
+            flush=True,
+        )
+        return
+    rendered = ARTIFACTS[event.name].render(event.result, fmt)
+    if fmt == "csv":
+        rendered = f"# artifact: {event.name}\n{rendered}"
+    if event.index:
+        print()
+    print(rendered, flush=True)
+
+
+def _stream_stats_line(event: ArtifactFinished) -> str:
+    stats = event.stats
+    return (
+        f"[{event.index + 1}/{event.total}] {event.name}: "
+        f"{stats.evaluations} evaluations, {stats.hits} memory hits, "
+        f"{stats.disk_hits} disk hits in {event.wall_time_s:.2f}s"
+    )
+
+
 def _cmd_artifact(args: argparse.Namespace,
                   parser: argparse.ArgumentParser) -> int:
     if args.output is not None:
@@ -347,21 +414,39 @@ def _cmd_artifact(args: argparse.Namespace,
             "--output is only valid with the 'report' subcommand "
             "(artifacts print to stdout)"
         )
-    names = ORDER if "all" in args.names else list(args.names)
+    # Dedup repeated names (first occurrence wins): results are
+    # name-keyed, so batch mode always rendered a repeat once —
+    # streaming and per-artifact records must agree with it.
+    names = (
+        ORDER if "all" in args.names
+        else list(dict.fromkeys(args.names))
+    )
     ctx = _build_context(args)
     # closing(): an interrupt mid-grid must still flush completed
     # evaluations to the persistent cache, not silently discard them.
     with closing(ctx.engine):
-        start = time.perf_counter()
-        results = compute_artifacts(names, ctx)
-        wall_time_s = time.perf_counter() - start
-        print(_render_outputs(results, args.fmt))
+        plan = RunPlan.from_names(names, ctx)
+        finished: List[ArtifactFinished] = []
+        final: Optional[RunFinished] = None
+        for event in plan.events():
+            if isinstance(event, ArtifactFinished):
+                finished.append(event)
+                if args.stream:
+                    _print_streamed_artifact(event, args.fmt)
+                    # stderr: stdout stays pure renderer output.
+                    print(_stream_stats_line(event), file=sys.stderr)
+            elif isinstance(event, RunFinished):
+                final = event
+        assert final is not None
+        if not args.stream:
+            print(_render_outputs(final.results, args.fmt))
         if ctx.record_path:
             record = record_from_artifacts(
                 command="artifact",
-                results=results,
+                results=final.results,
                 engine=ctx.engine,
-                wall_time_s=wall_time_s,
+                wall_time_s=final.wall_time_s,
+                artifact_stats=stats_by_artifact(finished),
             )
             path = record.write(ctx.record_path)
             # stderr: stdout stays pure renderer output (json/csv
@@ -440,6 +525,11 @@ def _cmd_sweep(args: argparse.Namespace,
                 "--model and --model-file are mutually exclusive"
             )
         try:
+            # replace=True only re-registers *runtime* models (loading
+            # the same file twice in one process is legitimate);
+            # shadowing a builtin like ResNet50 — any case variant —
+            # is refused inside register_model and lands here as a
+            # loud parser error.
             loaded_model = register_model(
                 load_model_file(args.model_file), replace=True
             )
@@ -632,12 +722,35 @@ def _cmd_list(args: argparse.Namespace,
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.eval.report import write_report
+def _cmd_report(args: argparse.Namespace,
+                parser: argparse.ArgumentParser) -> int:
+    from repro.eval.report import run_markdown_report, write_report
 
-    write_report(args.output)
-    print(f"wrote {args.output}")
-    return 0
+    if args.report_format == "full" and args.record:
+        parser.error(
+            "--record applies to 'report --format md' (the full "
+            "report has no structured artifact results to record)"
+        )
+    ctx = _build_context(args)
+    with closing(ctx.engine):
+        if args.report_format == "md":
+            document, outcome = run_markdown_report(ctx, ORDER)
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            if ctx.record_path:
+                record = record_from_artifacts(
+                    command="report",
+                    results=outcome.results,
+                    engine=ctx.engine,
+                    wall_time_s=outcome.wall_time_s,
+                    artifact_stats=outcome.artifact_stats(),
+                )
+                print(f"wrote {record.write(ctx.record_path)}",
+                      file=sys.stderr)
+        else:
+            write_report(args.output, ctx)
+        print(f"wrote {args.output}")
+        return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -654,7 +767,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)
-    return _cmd_report(args)
+    return _cmd_report(args, parser)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -45,6 +45,20 @@ class ConvLayer:
                 raise WorkloadError(
                     f"{self.name}: {field_name} must be positive"
                 )
+        # Padding is the one field allowed to be zero, so it needs its
+        # own check: a negative (or fractional) padding silently
+        # shrinks the Toeplitz GEMM instead of failing.
+        if isinstance(self.padding, bool) or not isinstance(
+            self.padding, int
+        ):
+            raise WorkloadError(
+                f"{self.name}: padding must be an integer, "
+                f"got {self.padding!r}"
+            )
+        if self.padding < 0:
+            raise WorkloadError(
+                f"{self.name}: padding must be >= 0, got {self.padding}"
+            )
         if self.in_channels % self.groups or self.out_channels % self.groups:
             raise WorkloadError(
                 f"{self.name}: channels must divide evenly into "

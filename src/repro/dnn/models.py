@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.dnn.layers import ConvLayer, Layer, LinearLayer
 from repro.errors import WorkloadError
@@ -249,6 +249,32 @@ MODEL_BUILDERS: Dict[str, Callable[[], DnnModel]] = {
 }
 
 
+#: The module-level builders above, frozen at import time: runtime
+#: registrations may never shadow these, case-insensitively — a model
+#: file named ``ResNet50`` (or ``resnet50``) silently replacing the
+#: builtin would corrupt every later sweep that asks for it by name.
+BUILTIN_MODELS: Tuple[str, ...] = tuple(MODEL_BUILDERS)
+
+
+def is_builtin_model(name: str) -> bool:
+    """Whether ``name`` resolves (case-insensitively) to a builtin."""
+    return any(
+        builtin.lower() == name.lower() for builtin in BUILTIN_MODELS
+    )
+
+
+def _registered_name(name: str) -> Optional[str]:
+    """The registered spelling ``name`` resolves to, if any.
+
+    Case-insensitive to match :func:`get_model`: a case-variant that
+    registers but can never be resolved is unreachable dead weight.
+    """
+    for registered in MODEL_BUILDERS:
+        if registered.lower() == name.lower():
+            return registered
+    return None
+
+
 def model_names() -> Tuple[str, ...]:
     """All registered network names, registration order."""
     return tuple(MODEL_BUILDERS)
@@ -258,15 +284,30 @@ def register_model(model: DnnModel, replace: bool = False) -> DnnModel:
     """Register a concrete network into :data:`MODEL_BUILDERS`.
 
     Runtime counterpart of the module-level builders, used by
-    ``repro sweep --model-file``. Refuses to shadow an existing name
-    unless ``replace`` is set (re-registering the same file in one
-    process is legitimate; silently replacing ResNet50 is not).
+    ``repro sweep --model-file``. Collision checks are
+    case-insensitive because :func:`get_model` resolves
+    case-insensitively — a case-variant would register but be
+    unreachable. Shadowing a builtin is always refused (``replace``
+    does not override it); shadowing an earlier runtime registration
+    needs ``replace=True`` (re-registering the same file in one
+    process is legitimate), and the old spelling is dropped so two
+    case-variants never coexist.
     """
-    if model.name in MODEL_BUILDERS and not replace:
-        raise WorkloadError(
-            f"model {model.name!r} is already registered; rename it "
-            f"or pass replace=True"
-        )
+    existing = _registered_name(model.name)
+    if existing is not None:
+        if is_builtin_model(existing):
+            raise WorkloadError(
+                f"model {model.name!r} would shadow the built-in "
+                f"{existing!r} (model names resolve "
+                f"case-insensitively); rename it"
+            )
+        if not replace:
+            raise WorkloadError(
+                f"model {model.name!r} is already registered "
+                f"(as {existing!r}; names resolve case-insensitively); "
+                f"rename it or pass replace=True"
+            )
+        del MODEL_BUILDERS[existing]
     MODEL_BUILDERS[model.name] = lambda: model
     return model
 

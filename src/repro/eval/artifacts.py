@@ -14,6 +14,16 @@ Because every ``compute`` takes one
 invocation shares a single memoizing engine — and therefore inherits
 parallel workers, the persistent cache, and run recording without any
 artifact-specific wiring.
+
+Execution is event-driven: a :class:`RunPlan` built from the registry
+yields typed :data:`RunEvent` s — :class:`ArtifactStarted`, then
+:class:`ArtifactFinished` carrying the structured result plus a scoped
+per-artifact :class:`~repro.eval.engine.EngineStats` delta, then one
+:class:`RunFinished` with the run totals. Consumers range from the
+streaming CLI (``repro all --stream`` renders each artifact the moment
+its compute returns) to run records (schema v4 embeds the per-artifact
+deltas) to plain batch callers (:func:`compute_artifacts` just drains
+the events).
 """
 
 from __future__ import annotations
@@ -21,16 +31,27 @@ from __future__ import annotations
 import csv
 import io
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import EvaluationError
 from repro.eval import experiments as E
 from repro.eval import reporting as R
-from repro.eval.engine import EngineContext, SweepResult
+from repro.eval.engine import EngineContext, EngineStats, SweepResult
 
 #: Output formats every artifact supports.
-FORMATS = ("text", "json", "csv")
+FORMATS = ("text", "json", "csv", "md")
 
 
 @dataclass(frozen=True)
@@ -56,6 +77,11 @@ class ArtifactInfo:
             return json.dumps(result.to_payload(), indent=2)
         if fmt == "csv":
             return _payload_csv(result.to_payload())
+        if fmt == "md":
+            return R.markdown_section(
+                self.title or self.name, self.name,
+                self.render_text(result),
+            )
         raise EvaluationError(
             f"unknown format {fmt!r}; supported: {', '.join(FORMATS)}"
         )
@@ -263,16 +289,195 @@ def _fig17(ctx: EngineContext) -> E.Fig17Result:
     return E.fig17(ctx)
 
 
+# ----------------------------------------------------------------------
+# The run API: artifact execution as a typed event stream.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArtifactStarted:
+    """An artifact's compute is about to run."""
+
+    name: str
+    index: int
+    total: int
+    title: str = ""
+
+
+@dataclass(frozen=True)
+class ArtifactFinished:
+    """An artifact's compute returned.
+
+    Carries the structured result plus the engine-stats delta scoped to
+    exactly this artifact's compute — on a warm persistent cache every
+    artifact reports ``stats.evaluations == 0``.
+    """
+
+    name: str
+    index: int
+    total: int
+    result: Any
+    #: Cache counters attributable to this artifact alone.
+    stats: EngineStats
+    wall_time_s: float
+    title: str = ""
+
+
+@dataclass(frozen=True)
+class RunFinished:
+    """The whole plan ran; totals over every artifact."""
+
+    #: name -> structured result, in plan order.
+    results: Dict[str, Any]
+    #: Engine-stats delta over the whole run (the per-artifact deltas
+    #: sum to exactly this).
+    stats: EngineStats
+    wall_time_s: float
+
+
+#: Everything :meth:`RunPlan.events` can yield.
+RunEvent = Union[ArtifactStarted, ArtifactFinished, RunFinished]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """A drained run: results plus the per-artifact finish events."""
+
+    results: Dict[str, Any]
+    artifacts: Tuple[ArtifactFinished, ...]
+    stats: EngineStats
+    wall_time_s: float
+
+    def artifact_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-artifact stats deltas, JSON-ready (the schema-v4 run
+        record block)."""
+        return stats_by_artifact(self.artifacts)
+
+
+def stats_by_artifact(
+    finished: Sequence[ArtifactFinished],
+) -> Dict[str, Dict[str, Any]]:
+    """Finish events folded to name -> counters + wall time."""
+    return {
+        event.name: {
+            **event.stats.as_dict(),
+            "wall_time_s": event.wall_time_s,
+        }
+        for event in finished
+    }
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """An ordered set of artifacts bound to one shared context.
+
+    Built from the registry via :meth:`from_names` (unknown names raise
+    ``KeyError`` before any work). :meth:`events` executes the plan
+    lazily, yielding a typed event per state change; :meth:`run` drains
+    the stream for callers that only want the end state. Either way
+    every compute shares the plan's single
+    :class:`~repro.eval.engine.EngineContext`, so the whole run is one
+    memoization domain.
+    """
+
+    specs: Tuple[ArtifactInfo, ...]
+    ctx: EngineContext
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str],
+        ctx: "EngineContext | None | object" = None,
+        registry: Optional[ArtifactRegistry] = None,
+    ) -> "RunPlan":
+        """Resolve ``names`` against the registry under one context.
+
+        Duplicate names are rejected: results and per-artifact stats
+        are keyed by name, so a repeated artifact would stream twice
+        but record once — silently breaking the deltas-sum-to-totals
+        invariant. Callers wanting dedup do it before building the
+        plan (the CLI does).
+        """
+        duplicates = sorted(
+            {name for name in names if list(names).count(name) > 1}
+        )
+        if duplicates:
+            raise EvaluationError(
+                f"duplicate artifact name(s) in run plan: "
+                f"{', '.join(duplicates)}"
+            )
+        target = registry if registry is not None else ARTIFACTS
+        specs = tuple(target[name] for name in names)
+        return cls(specs=specs, ctx=EngineContext.coerce(ctx))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.specs)
+
+    def events(self) -> Iterator[RunEvent]:
+        """Execute the plan, yielding events as each artifact runs.
+
+        Per-artifact stats are checkpoint deltas on the shared engine
+        (scoped, not reset — concurrent readers of the engine's
+        cumulative counters are unaffected), so the ``ArtifactFinished``
+        deltas always sum to the ``RunFinished`` totals.
+        """
+        engine = self.ctx.engine
+        total = len(self.specs)
+        results: Dict[str, Any] = {}
+        run_checkpoint = engine.checkpoint()
+        run_start = time.perf_counter()
+        for index, spec in enumerate(self.specs):
+            yield ArtifactStarted(
+                name=spec.name, index=index, total=total,
+                title=spec.title,
+            )
+            checkpoint = engine.checkpoint()
+            start = time.perf_counter()
+            result = spec.compute(self.ctx)
+            wall_time_s = time.perf_counter() - start
+            results[spec.name] = result
+            yield ArtifactFinished(
+                name=spec.name, index=index, total=total,
+                result=result,
+                stats=engine.stats_since(checkpoint),
+                wall_time_s=wall_time_s,
+                title=spec.title,
+            )
+        yield RunFinished(
+            results=results,
+            stats=engine.stats_since(run_checkpoint),
+            wall_time_s=time.perf_counter() - run_start,
+        )
+
+    def run(self) -> RunOutcome:
+        """Drain :meth:`events` and return the collected outcome."""
+        finished: List[ArtifactFinished] = []
+        final: Optional[RunFinished] = None
+        for event in self.events():
+            if isinstance(event, ArtifactFinished):
+                finished.append(event)
+            elif isinstance(event, RunFinished):
+                final = event
+        assert final is not None  # events() always ends with one
+        return RunOutcome(
+            results=final.results,
+            artifacts=tuple(finished),
+            stats=final.stats,
+            wall_time_s=final.wall_time_s,
+        )
+
+
 def compute_artifacts(
     names: "Tuple[str, ...] | list",
     ctx: Optional[EngineContext] = None,
 ) -> Dict[str, Any]:
     """Compute the named artifacts under one shared context, in order.
 
-    Returns name -> structured result (render separately with
-    :func:`render`). Unknown names raise ``KeyError`` before anything
-    is evaluated.
+    The batch view of the run API: builds a :class:`RunPlan`, drains
+    its events, and returns name -> structured result (render
+    separately with :func:`render`). Unknown names raise ``KeyError``
+    and duplicates ``EvaluationError``, both before anything is
+    evaluated.
     """
-    ctx = EngineContext.coerce(ctx)
-    specs = [ARTIFACTS[name] for name in names]
-    return {spec.name: spec.compute(ctx) for spec in specs}
+    return RunPlan.from_names(names, ctx).run().results

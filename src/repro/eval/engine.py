@@ -92,6 +92,12 @@ class EngineStats:
     are served from the in-memory cache (including duplicates within a
     batch), ``disk_hits`` from the persistent cache, and ``misses``
     cost one actual model evaluation each.
+
+    Counters are scoped with the checkpoint/delta API rather than by
+    resetting: :meth:`snapshot` freezes a point-in-time copy and
+    :meth:`delta_since` subtracts one — so any span of work (one
+    artifact of a ``repro all`` run, say) gets its own counters while
+    the cumulative totals stay intact for everyone else reading them.
     """
 
     hits: int = 0
@@ -106,6 +112,20 @@ class EngineStats:
     def evaluations(self) -> int:
         """Actual cost-model evaluations performed (= misses)."""
         return self.misses
+
+    def snapshot(self) -> "EngineStats":
+        """A frozen point-in-time copy (a checkpoint to delta against)."""
+        return EngineStats(
+            hits=self.hits, misses=self.misses, disk_hits=self.disk_hits
+        )
+
+    def delta_since(self, checkpoint: "EngineStats") -> "EngineStats":
+        """The counters accumulated since ``checkpoint`` was taken."""
+        return EngineStats(
+            hits=self.hits - checkpoint.hits,
+            misses=self.misses - checkpoint.misses,
+            disk_hits=self.disk_hits - checkpoint.disk_hits,
+        )
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -344,6 +364,21 @@ class SweepEngine:
     def attach_cache(self, cache: cache_mod.PersistentCache) -> None:
         """Back this engine with a persistent on-disk cache."""
         self.persistent = cache
+
+    def checkpoint(self) -> EngineStats:
+        """A consistent point-in-time copy of the cumulative stats.
+
+        Counters mutate under the engine lock, so the copy is taken
+        under it too — a checkpoint never observes a half-recorded
+        batch from a concurrent caller.
+        """
+        with self._lock:
+            return self.stats.snapshot()
+
+    def stats_since(self, checkpoint: EngineStats) -> EngineStats:
+        """The cache counters accumulated since ``checkpoint``."""
+        with self._lock:
+            return self.stats.delta_since(checkpoint)
 
     def design(self, name: str) -> AcceleratorDesign:
         """The engine's instance of a registered design (one per name;

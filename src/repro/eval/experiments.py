@@ -20,7 +20,16 @@ import math
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.accelerators import REGISTRY, all_designs, main_design_names
 from repro.accelerators.base import AcceleratorDesign
@@ -450,10 +459,16 @@ class ModelSweepResult:
         }
 
 
+#: What ``sweep_model`` accepts as its degree grid: one ladder applied
+#: to every design, or a per-design mapping (designs absent from the
+#: mapping fall back to their default ladder).
+DegreeGrid = Union[Sequence[float], Mapping[str, Sequence[float]]]
+
+
 def sweep_model(
     model: DnnModel,
     designs: Optional[Sequence[str]] = None,
-    degrees: Optional[Sequence[float]] = None,
+    degrees: Optional[DegreeGrid] = None,
     ctx: ContextLike = None,
     profile: Optional[SparsityProfile] = None,
 ) -> ModelSweepResult:
@@ -464,17 +479,26 @@ def sweep_model(
     into candidate workloads and the whole sweep is submitted to the
     engine as **one batch**, so parallelism spans the entire network
     sweep and dense layers (identical at every degree) are evaluated
-    once. ``degrees`` overrides every design's default ladder; a
+    once. ``degrees`` overrides the default ladders — a sequence
+    applies to every design, a mapping picks degrees per design (how
+    Fig. 2 runs its accuracy-matched points as one cached sweep); a
     ``profile`` pins named layers to their own degrees at every point.
     """
     engine = EngineContext.coerce(ctx).engine
     if profile is not None:
         validate_profile(model, profile)
     design_order = tuple(designs) if designs else main_design_names()
-    per_design: Dict[str, Tuple[float, ...]] = {
-        name: tuple(degrees) if degrees is not None else design_ladder(name)
-        for name in design_order
-    }
+    if degrees is None:
+        per_design: Dict[str, Tuple[float, ...]] = {
+            name: design_ladder(name) for name in design_order
+        }
+    elif isinstance(degrees, Mapping):
+        per_design = {
+            name: tuple(degrees.get(name, design_ladder(name)))
+            for name in design_order
+        }
+    else:
+        per_design = {name: tuple(degrees) for name in design_order}
     baseline: Optional[Tuple[str, float]] = None
     if "TC" in design_order:
         # Dense TC anchors normalization; TC ignores weight sparsity,
@@ -577,35 +601,64 @@ class Fig2Result:
         }
 
 
+#: The designs Fig. 2 compares, paper order.
+FIG2_DESIGNS: Tuple[str, ...] = ("TC", "STC", "DSTC", "HighLight")
+
+
+def accuracy_matched_degrees(
+    model: DnnModel, budget_pct: float = 0.5
+) -> Dict[str, float]:
+    """Per-design weight-sparsity degrees within the accuracy budget.
+
+    The Fig. 2 degree search: each design's realizable ladder is walked
+    against the model's calibrated accuracy curve (DSTC's unstructured
+    degree solves the curve directly). Purely analytical — the chosen
+    degrees are then evaluated through :func:`sweep_model`, so every
+    evaluation probe of the search is an engine cache request.
+    """
+    return {
+        "TC": 0.0,
+        "STC": max_degree_within_loss(
+            model, (0.0, 0.5), 1.06, budget_pct
+        ),
+        "DSTC": unstructured_degree_within_loss(model, budget_pct),
+        "HighLight": max_degree_within_loss(
+            model, DESIGN_LADDERS["HighLight"][0], 1.04, budget_pct
+        ),
+    }
+
+
 def fig2(ctx: ContextLike = None) -> Fig2Result:
     """Fig. 2: TC/STC/DSTC/HighLight on pruned Transformer-Big and
     ResNet50, accuracy matched within 0.5%.
 
-    Every layer evaluation routes through the context's engine, so the
-    dense layers revisited by Fig. 15 (and by the TC baselines of both
-    models) are cache hits, not re-evaluations.
+    The accuracy-matched degrees resolve analytically
+    (:func:`accuracy_matched_degrees`), then each model's four points
+    run as **one** :func:`sweep_model` batch with a per-design degree
+    mapping: parallelism spans the whole figure, dense layers
+    deduplicate across designs, and on a warm persistent cache the
+    entire degree search performs zero fresh evaluations.
     """
     ctx = EngineContext.coerce(ctx)
-    engine = ctx.engine
-    designs = {
-        name: engine.design(name)
-        for name in ("TC", "STC", "DSTC", "HighLight")
-    }
     models = {
         m.name: m for m in all_models() if m.name != "DeiT-small"
     }
     results: Dict[str, Dict[str, Tuple[float, float]]] = {}
     per_layer_out: Dict[str, Dict[str, List[float]]] = {}
     for model_name, model in models.items():
-        degrees = {
-            "TC": 0.0,
-            "STC": max_degree_within_loss(model, (0.0, 0.5), 1.06),
-            "DSTC": unstructured_degree_within_loss(model),
-            "HighLight": max_degree_within_loss(
-                model, DESIGN_LADDERS["HighLight"][0], 1.04
-            ),
-        }
-        baseline = evaluate_model(designs["TC"], model, 0.0, ctx)
+        degrees = accuracy_matched_degrees(model)
+        sweep = sweep_model(
+            model,
+            designs=FIG2_DESIGNS,
+            degrees={
+                name: (degree,) for name, degree in degrees.items()
+            },
+            ctx=ctx,
+        )
+        baseline = (
+            None if sweep.baseline is None
+            else sweep.evaluations[sweep.baseline]
+        )
         if baseline is None:
             # Not an assert: under ``python -O`` asserts are stripped
             # and a None baseline would surface later as an opaque
@@ -616,10 +669,10 @@ def fig2(ctx: ContextLike = None) -> Fig2Result:
             )
         results[model_name] = {}
         per_layer_out[model_name] = {}
-        for design_name, design in designs.items():
-            evaluation = evaluate_model(
-                design, model, degrees[design_name], ctx
-            )
+        for design_name in FIG2_DESIGNS:
+            evaluation = sweep.evaluations[
+                (design_name, degrees[design_name])
+            ]
             if evaluation is None:
                 continue
             results[model_name][design_name] = (

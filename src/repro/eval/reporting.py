@@ -40,6 +40,22 @@ def _fmt(value: Optional[float], digits: int = 3) -> str:
     return "n/s" if value is None else f"{value:.{digits}f}"
 
 
+def markdown_section(title: str, name: str, body: str) -> str:
+    """One artifact as a composable markdown section.
+
+    A ``##`` heading (so sections nest under a document's ``#`` title),
+    a regeneration hint naming the artifact, and the canonical text
+    rendering fenced verbatim — sections stack into an EXPERIMENTS.md
+    with no per-artifact renderer code.
+    """
+    return (
+        f"## {title}\n\n"
+        f"Regenerate with `python -m repro artifact {name} "
+        f"--format md`.\n\n"
+        f"```\n{body}\n```"
+    )
+
+
 def render_tables(result: TablesResult) -> str:
     """Tables 1-4, titled and stacked (the ``tables`` artifact)."""
     sections = [

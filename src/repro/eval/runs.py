@@ -25,7 +25,10 @@ if TYPE_CHECKING:  # typing-only, avoids a cycle with experiments
 #: v2: cache stats gained disk_hits/evaluations; model-sweep records.
 #: v3: artifact records (``repro all --record``) carrying each
 #: artifact's structured ``to_payload()`` under ``artifacts``.
-SCHEMA_VERSION = 3
+#: v4: artifact records embed per-artifact engine-stats deltas under
+#: ``artifact_stats`` (scoped counters + wall time per figure), so
+#: warm-vs-cold cache behaviour is auditable per artifact.
+SCHEMA_VERSION = 4
 
 
 def metrics_summary(metrics: Optional[Metrics]) -> Optional[Dict[str, Any]]:
@@ -56,6 +59,12 @@ class RunRecord:
     cache: Dict[str, int] = field(default_factory=dict)
     #: Artifact runs only: name -> the artifact's ``to_payload()``.
     artifacts: Dict[str, Any] = field(default_factory=dict)
+    #: Artifact runs only: name -> the engine-stats delta scoped to
+    #: that artifact's compute (plus its wall time) — all zeros per
+    #: artifact on a warm cache.
+    artifact_stats: Dict[str, Dict[str, Any]] = field(
+        default_factory=dict
+    )
     schema_version: int = SCHEMA_VERSION
 
     def write(self, path: "str | Path") -> Path:
@@ -182,6 +191,7 @@ def record_from_artifacts(
     engine: Optional[SweepEngine] = None,
     wall_time_s: float = 0.0,
     created_at: Optional[str] = None,
+    artifact_stats: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from computed artifacts.
 
@@ -189,7 +199,11 @@ def record_from_artifacts(
     returned by :func:`repro.eval.artifacts.compute_artifacts`); each
     is stored via its uniform ``to_payload()``. The engine's cache
     counters cover the whole invocation, so a warm persistent cache
-    shows ``evaluations == 0`` even for a full ``repro all``.
+    shows ``evaluations == 0`` even for a full ``repro all``;
+    ``artifact_stats`` (from the run API's per-artifact
+    :class:`~repro.eval.artifacts.ArtifactFinished` deltas, see
+    :func:`repro.eval.artifacts.stats_by_artifact`) breaks the same
+    counters down per figure.
     """
     if created_at is None:
         created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
@@ -201,6 +215,7 @@ def record_from_artifacts(
             name: result.to_payload()
             for name, result in results.items()
         },
+        artifact_stats=dict(artifact_stats or {}),
         wall_time_s=wall_time_s,
         cache=engine.stats.as_dict() if engine is not None else {},
     )

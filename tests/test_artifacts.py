@@ -38,7 +38,7 @@ class TestRegistry:
         assert ORDER == list(PAPER_ORDER)
 
     def test_supported_formats(self):
-        assert FORMATS == ("text", "json", "csv")
+        assert FORMATS == ("text", "json", "csv", "md")
 
     def test_specs_are_complete(self):
         for info in ARTIFACTS.infos():

@@ -206,17 +206,24 @@ class TestArtifactFormatsAndRecords:
         assert "# artifact: fig17" in out
         assert "design,density,normalized_latency" in out
 
-    def test_artifact_record_schema_v3(self, tmp_path, capsys):
+    def test_artifact_record_schema_v4(self, tmp_path, capsys):
         record_path = tmp_path / "artifact-run.json"
         assert main(["artifact", "fig6", "tables",
                      "--record", str(record_path)]) == 0
         assert "wrote" in capsys.readouterr().err
         record = json.loads(record_path.read_text())
-        assert record["schema_version"] == 3
+        assert record["schema_version"] == 4
         assert record["command"] == "artifact"
         assert record["grid"]["artifacts"] == ["fig6", "tables"]
         assert set(record["artifacts"]) == {"fig6", "tables"}
         assert record["artifacts"]["fig6"]["rows"]
+        # v4: per-artifact engine-stats deltas ride along.
+        assert set(record["artifact_stats"]) == {"fig6", "tables"}
+        for stats in record["artifact_stats"].values():
+            assert set(stats) >= {
+                "hits", "disk_hits", "misses", "evaluations",
+                "requests", "wall_time_s",
+            }
 
     def test_artifact_warm_cache_zero_evaluations(
         self, tmp_path, capsys
@@ -291,27 +298,40 @@ class TestModelFileSubcommand:
             main(["sweep", "--model-file", self._write(tmp_path, bad)])
         assert "unknown field(s): dilation" in capsys.readouterr().err
 
-    def test_case_collision_with_builtin_sweeps_user_model(
-        self, tmp_path, capsys
+    @pytest.mark.parametrize("name", ["ResNet50", "resnet50"])
+    def test_builtin_shadowing_is_a_loud_error(
+        self, tmp_path, capsys, name
     ):
-        """A user model named "resnet50" must sweep the user's table,
-        not resolve case-insensitively to the built-in ResNet50."""
-        from repro.dnn.models import MODEL_BUILDERS
+        """A model file named after a builtin — any case variant, since
+        names resolve case-insensitively — must fail loudly instead of
+        silently replacing (or unreachably shadowing) the builtin."""
+        from repro.dnn.models import MODEL_BUILDERS, get_model
 
         shadow = json.loads(json.dumps(self.MODEL))
-        shadow["name"] = "resnet50"
+        shadow["name"] = name
         path = self._write(tmp_path, shadow)
-        try:
-            assert main([
+        with pytest.raises(SystemExit):
+            main([
                 "sweep", "--model-file", path,
                 "--designs", "TC", "--degrees", "0.0",
-            ]) == 0
-            out = capsys.readouterr().out
-            assert "Network sweep — resnet50" in out
-            # The 2-layer user table, not the 22-layer builtin.
-            assert "1 designs on resnet50" in out
-        finally:
-            MODEL_BUILDERS.pop("resnet50", None)
+            ])
+        assert "built-in" in capsys.readouterr().err
+        assert name not in MODEL_BUILDERS or name == "ResNet50"
+        # The builtin still resolves to its 22-layer table.
+        assert len(get_model("resnet50").layers) == 22
+
+    def test_rerunning_the_same_model_file_is_fine(
+        self, tmp_path, capsys
+    ):
+        """Loading one file twice in one process re-registers the
+        runtime model rather than erroring (the CLI's replace=True
+        covers runtime names, just not builtins)."""
+        path = self._write(tmp_path, self.MODEL)
+        argv = ["sweep", "--model-file", path,
+                "--designs", "TC", "--degrees", "0.0"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert "Network sweep — TinyNet" in capsys.readouterr().out
 
     def test_model_and_model_file_conflict(self, tmp_path, capsys):
         path = self._write(tmp_path, self.MODEL)

@@ -43,6 +43,21 @@ class TestConvLayer:
         with pytest.raises(WorkloadError):
             ConvLayer("c", 0, 1, 3, 8)
 
+    def test_zero_padding_is_valid(self):
+        assert ConvLayer("c", 8, 8, 3, 8, padding=0).output_size == 6
+
+    @pytest.mark.parametrize("padding", [-1, -3])
+    def test_rejects_negative_padding(self, padding):
+        """Negative padding silently shrinks the Toeplitz GEMM — it
+        must be rejected at construction, not produce wrong shapes."""
+        with pytest.raises(WorkloadError, match="padding"):
+            ConvLayer("c", 8, 8, 3, 8, padding=padding)
+
+    @pytest.mark.parametrize("padding", [1.5, "1", None, True])
+    def test_rejects_non_int_padding(self, padding):
+        with pytest.raises(WorkloadError, match="padding"):
+            ConvLayer("c", 8, 8, 3, 8, padding=padding)
+
 
 class TestLinearLayer:
     def test_gemm_shape(self):

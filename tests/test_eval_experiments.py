@@ -138,9 +138,22 @@ class TestFig2(object):
         surface later as an AttributeError on ``baseline.edp``)."""
         from repro.errors import EvaluationError, ReproError
 
-        monkeypatch.setattr(
-            E, "evaluate_model", lambda *args, **kwargs: None
-        )
+        def unsupported_sweep(model, designs=None, degrees=None,
+                              ctx=None, profile=None):
+            grid = {name: tuple(degrees[name]) for name in designs}
+            return E.ModelSweepResult(
+                model=model.name,
+                design_order=tuple(designs),
+                degrees=grid,
+                evaluations={
+                    (name, degree): None
+                    for name, ladder in grid.items()
+                    for degree in ladder
+                },
+                baseline=("TC", grid["TC"][0]),
+            )
+
+        monkeypatch.setattr(E, "sweep_model", unsupported_sweep)
         with pytest.raises(EvaluationError, match="TC baseline"):
             E.fig2()
         assert issubclass(EvaluationError, ReproError)

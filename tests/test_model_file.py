@@ -103,6 +103,20 @@ class TestModelFromDict:
             model_from_dict(data)
 
 
+class TestPaddingValidation:
+    def test_negative_padding_rejected(self):
+        data = _copy()
+        data["layers"][1]["padding"] = -1
+        with pytest.raises(WorkloadError, match="padding"):
+            model_from_dict(data)
+
+    def test_fractional_padding_rejected(self):
+        data = _copy()
+        data["layers"][1]["padding"] = 1.5
+        with pytest.raises(WorkloadError, match="must be an integer"):
+            model_from_dict(data)
+
+
 class TestLoadModelFile:
     def test_round_trip(self, tmp_path):
         path = tmp_path / "net.json"
@@ -146,3 +160,54 @@ class TestRegisterModel:
             register_model(model, replace=True)
         finally:
             MODEL_BUILDERS.pop("TableNet", None)
+
+    def test_collision_check_is_case_insensitive(self):
+        """get_model resolves case-insensitively, so a case-variant
+        that registered would be unreachable — the collision check
+        must catch it."""
+        data = _copy()
+        try:
+            register_model(model_from_dict(data))
+            data["name"] = "tablenet"
+            with pytest.raises(WorkloadError, match="already registered"):
+                register_model(model_from_dict(data))
+        finally:
+            MODEL_BUILDERS.pop("TableNet", None)
+
+    def test_replace_drops_the_old_case_variant(self):
+        """Replacing under a new spelling must not leave two
+        case-variant keys behind (one would be unreachable)."""
+        data = _copy()
+        try:
+            register_model(model_from_dict(data))
+            data["name"] = "TABLENET"
+            register_model(model_from_dict(data), replace=True)
+            assert "TableNet" not in MODEL_BUILDERS
+            assert get_model("tablenet").name == "TABLENET"
+        finally:
+            MODEL_BUILDERS.pop("TABLENET", None)
+            MODEL_BUILDERS.pop("TableNet", None)
+
+    @pytest.mark.parametrize(
+        "name", ["ResNet50", "resnet50", "DEIT-SMALL"]
+    )
+    def test_builtins_cannot_be_shadowed(self, name):
+        """Builtins are refused outright — replace=True does not
+        override, and every case variant is caught."""
+        data = _copy()
+        data["name"] = name
+        model = model_from_dict(data)
+        for replace in (False, True):
+            with pytest.raises(WorkloadError, match="built-in"):
+                register_model(model, replace=replace)
+        assert name not in MODEL_BUILDERS or name == "ResNet50"
+
+    def test_builtin_inventory(self):
+        from repro.dnn.models import BUILTIN_MODELS, is_builtin_model
+
+        assert BUILTIN_MODELS == (
+            "ResNet50", "DeiT-small", "Transformer-Big",
+            "EfficientNet-B0",
+        )
+        assert is_builtin_model("efficientnet-b0")
+        assert not is_builtin_model("TableNet")

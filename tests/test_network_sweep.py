@@ -134,6 +134,38 @@ class TestSweepModelResult:
             "TC": (0.0, 0.5), "HighLight": (0.0, 0.5),
         }
 
+    def test_mapping_degrees_pick_per_design(self, estimator):
+        """A per-design degree mapping (the Fig. 2 path): named
+        designs use their entry, absent designs keep their ladder."""
+        sweep = E.sweep_model(
+            deit_small(),
+            designs=("TC", "DSTC", "HighLight"),
+            degrees={"TC": (0.0,), "DSTC": (0.62,)},
+            ctx=SweepEngine(estimator),
+        )
+        assert sweep.degrees == {
+            "TC": (0.0,),
+            "DSTC": (0.62,),
+            "HighLight": (0.5, 0.625, 0.75),
+        }
+        assert sweep.baseline == ("TC", 0.0)
+        assert sweep.normalized_edp("DSTC", 0.62) is not None
+
+    def test_mapping_degrees_match_sequence_degrees(self, estimator):
+        """A mapping naming every design agrees exactly with the
+        equivalent uniform-sequence sweep."""
+        engine = SweepEngine(estimator)
+        uniform = E.sweep_model(
+            deit_small(), designs=("TC", "HighLight"),
+            degrees=(0.0, 0.5), ctx=engine,
+        )
+        mapped = E.sweep_model(
+            deit_small(), designs=("TC", "HighLight"),
+            degrees={"TC": (0.0, 0.5), "HighLight": (0.0, 0.5)},
+            ctx=engine,
+        )
+        assert mapped.to_payload() == uniform.to_payload()
+
     def test_no_tc_means_no_baseline(self, estimator):
         sweep = E.sweep_model(
             deit_small(),

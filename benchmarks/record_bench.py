@@ -1,0 +1,189 @@
+"""Record the batch-path baselines into ``BENCH_sweep.json``.
+
+Measures, in-process, the wall times the vectorized batch path is
+accountable for:
+
+* the Fig. 15-style deit_small network sweep (`bench_network_sweep.py`
+  shape) — cold through the scalar reference path, cold through the
+  batch path, and warm from a populated persistent cache;
+* the Fig. 13 synthetic grid (`bench_fig13.py` shape), cold, both
+  paths;
+* cold ``repro all --jobs 1`` end to end, both paths, plus a warm run.
+
+Writes a JSON record (default ``BENCH_sweep.json`` at the repo root;
+CI uploads it as an artifact and fails the smoke job if the cold batch
+path is slower than the scalar path). Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro import cli
+from repro.dnn.models import deit_small
+from repro.energy import Estimator
+from repro.eval import experiments as E
+from repro.eval.cache import PersistentCache
+from repro.eval.engine import SweepEngine
+
+
+@contextlib.contextmanager
+def scalar_only():
+    """Force every engine constructed in the block onto the scalar
+    reference path (the pre-batch behavior, for before/after runs)."""
+    original = SweepEngine.__init__
+
+    def patched(self, *args, **kwargs):
+        kwargs["use_batch"] = False
+        original(self, *args, **kwargs)
+
+    SweepEngine.__init__ = patched
+    try:
+        yield
+    finally:
+        SweepEngine.__init__ = original
+
+
+def _best_ms(fn, rounds: int) -> float:
+    """Min wall time over ``rounds`` calls, in milliseconds (min, not
+    mean: scheduling noise only ever adds time)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def _network_sweep(cache_dir: Path) -> None:
+    estimator = Estimator()
+    engine = SweepEngine(estimator)
+    engine.attach_cache(
+        PersistentCache.for_estimator(cache_dir, estimator)
+    )
+    E.sweep_model(
+        deit_small(), designs=tuple(E.DESIGN_LADDERS), ctx=engine
+    )
+    engine.close()
+
+
+def _cold(fn, cache_dir: Path, rounds: int) -> float:
+    def run():
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        fn()
+
+    return _best_ms(run, rounds)
+
+
+def _repro_all(cache_dir: Path) -> None:
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        status = cli.main(
+            ["all", "--jobs", "1", "--cache-dir", str(cache_dir)]
+        )
+    if status not in (0, None):
+        raise SystemExit(f"repro all failed with status {status}")
+
+
+def record(rounds: int) -> dict:
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    sweep_dir = scratch / "sweep-cache"
+    all_dir = scratch / "all-cache"
+    try:
+        sweep = lambda: _network_sweep(sweep_dir)  # noqa: E731
+        repro_all = lambda: _repro_all(all_dir)  # noqa: E731
+
+        with scalar_only():
+            sweep_scalar = _cold(sweep, sweep_dir, rounds)
+            fig13_scalar = _best_ms(
+                lambda: E.fig13(SweepEngine(Estimator())), rounds
+            )
+            all_scalar = _cold(repro_all, all_dir, rounds)
+        sweep_batch = _cold(sweep, sweep_dir, rounds)
+        sweep_warm = _best_ms(sweep, rounds)  # cache left populated
+        fig13_batch = _best_ms(
+            lambda: E.fig13(SweepEngine(Estimator())), rounds
+        )
+        all_batch = _cold(repro_all, all_dir, rounds)
+        all_warm = _best_ms(repro_all, rounds)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    def section(scalar_ms, batch_ms, **extra):
+        return {
+            "cold_scalar_ms": round(scalar_ms, 3),
+            "cold_batch_ms": round(batch_ms, 3),
+            "cold_speedup": round(scalar_ms / batch_ms, 2),
+            **extra,
+        }
+
+    return {
+        "schema_version": 1,
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "rounds": rounds,
+        "network_sweep_deit_small": section(
+            sweep_scalar, sweep_batch,
+            warm_ms=round(sweep_warm, 3),
+        ),
+        "fig13_grid": section(fig13_scalar, fig13_batch),
+        "repro_all_jobs1": section(
+            all_scalar, all_batch,
+            warm_ms=round(all_warm, 3),
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_sweep.json",
+        help="output path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="timing rounds per measurement; min is kept "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if the cold batch path is slower than the "
+        "cold scalar path on the end-to-end run (CI smoke gate)",
+    )
+    args = parser.parse_args(argv)
+    payload = record(args.rounds)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if args.check:
+        gate = payload["repro_all_jobs1"]
+        if gate["cold_batch_ms"] > gate["cold_scalar_ms"]:
+            print(
+                "FAIL: cold batch path is slower than the scalar "
+                f"path ({gate['cold_batch_ms']}ms vs "
+                f"{gate['cold_scalar_ms']}ms)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "OK: cold batch path is at least as fast as scalar "
+            f"({gate['cold_speedup']}x on repro all --jobs 1)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

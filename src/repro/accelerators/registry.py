@@ -55,6 +55,7 @@ class DesignRegistry:
 
     def __init__(self) -> None:
         self._designs: Dict[str, DesignInfo] = {}
+        self._shared: Dict[str, AcceleratorDesign] = {}
 
     def register(
         self,
@@ -88,6 +89,20 @@ class DesignRegistry:
     def create(self, name: str) -> AcceleratorDesign:
         """A fresh instance of the named design."""
         return self[name].create()
+
+    def shared(self, name: str) -> AcceleratorDesign:
+        """A memoized instance of the named design.
+
+        Designs are stateless after construction (an arch spec plus
+        pure cost methods), so callers that only *evaluate* — engines,
+        sweeps — can share one instance instead of rebuilding the arch
+        spec per engine. Callers that mutate an instance must use
+        :meth:`create`.
+        """
+        instance = self._shared.get(name)
+        if instance is None:
+            instance = self._shared[name] = self.create(name)
+        return instance
 
     def names(self) -> Tuple[str, ...]:
         return tuple(self._designs)

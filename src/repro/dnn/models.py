@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from functools import lru_cache
+
 from repro.dnn.layers import ConvLayer, Layer, LinearLayer
 from repro.errors import WorkloadError
 
@@ -56,6 +58,10 @@ class DnnModel:
         )
 
 
+# Built-in constructors are memoized: DnnModel is frozen, so the
+# shared instance cannot go stale, and identity-keyed sweep memos
+# (realized layer pairs) then hit across repeated constructions.
+@lru_cache(maxsize=1)
 def resnet50() -> DnnModel:
     """ResNet50 at 224x224: distinct conv/FC shapes with repeats."""
     layers: List[Layer] = [
@@ -111,6 +117,7 @@ def _transformer_layers(
     ]
 
 
+@lru_cache(maxsize=1)
 def transformer_big() -> DnnModel:
     """Transformer-Big for WMT16 EN-DE: 6+6 blocks, d=1024, ff=4096."""
     tokens = 128
@@ -135,6 +142,7 @@ def transformer_big() -> DnnModel:
     )
 
 
+@lru_cache(maxsize=1)
 def deit_small() -> DnnModel:
     """DeiT-small: 12 blocks, d=384, MLP ratio 4, 197 tokens."""
     tokens = 197
@@ -192,6 +200,7 @@ def _mbconv(
     return layers
 
 
+@lru_cache(maxsize=1)
 def efficientnet_b0() -> DnnModel:
     """EfficientNet-B0: the paper's Sec. 1 example of a compact model
     that "cannot be pruned as aggressively" — an extension experiment

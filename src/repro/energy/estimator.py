@@ -4,11 +4,33 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.arch.components import Component
+import numpy as np
+
+from repro.arch.components import Component, ComponentClass
 from repro.arch.spec import ArchitectureSpec
 from repro.energy.plugins import EstimationPlugin, default_plugins
 from repro.energy.tables import EnergyAreaTable, default_table
 from repro.errors import ArchitectureError
+
+
+#: The default table/plug-in stack, built once and shared by every
+#: default-constructed Estimator. The table is frozen and the shipped
+#: plug-ins are stateless calculators, so sharing is safe — and it
+#: makes the default configuration *identity*-comparable (the cache
+#: fingerprint memoizes on it).
+_DEFAULT_SETUP: Optional[
+    Tuple[EnergyAreaTable, Tuple[EstimationPlugin, ...]]
+] = None
+
+
+def _default_setup() -> Tuple[
+    EnergyAreaTable, Tuple[EstimationPlugin, ...]
+]:
+    global _DEFAULT_SETUP
+    if _DEFAULT_SETUP is None:
+        table = default_table()
+        _DEFAULT_SETUP = (table, tuple(default_plugins(table)))
+    return _DEFAULT_SETUP
 
 
 class Estimator:
@@ -23,14 +45,27 @@ class Estimator:
         table: Optional[EnergyAreaTable] = None,
         plugins: Optional[Sequence[EstimationPlugin]] = None,
     ) -> None:
-        self.table = table or default_table()
-        self._plugins = (
-            list(plugins)
-            if plugins is not None
-            else default_plugins(self.table)
-        )
+        if table is None and plugins is None:
+            self.table, shared = _default_setup()
+            self._plugins = list(shared)
+        else:
+            self.table = table or default_table()
+            self._plugins = (
+                list(plugins)
+                if plugins is not None
+                else default_plugins(self.table)
+            )
         self._energy_cache: Dict[Tuple, float] = {}
         self._area_cache: Dict[Tuple, float] = {}
+        self._plugin_cache: Dict[ComponentClass, EstimationPlugin] = {}
+        # Identity-level energy memo. Building the content key (sorted
+        # attribute tuples) dominates a cached energy_pj call, and the
+        # hot callers query the same long-lived spec instances over and
+        # over; keeping a strong reference to the component makes the
+        # id() stable (ids are only reused after collection).
+        self._energy_by_identity: Dict[
+            Tuple[int, str], Tuple[Component, float]
+        ] = {}
 
     @staticmethod
     def _key(component: Component) -> Tuple:
@@ -43,22 +78,57 @@ class Estimator:
         )
 
     def _plugin_for(self, component: Component) -> EstimationPlugin:
-        for plugin in self._plugins:
-            if plugin.supports(component.component_class):
-                return plugin
-        raise ArchitectureError(
-            f"no plug-in supports component class "
-            f"{component.component_class.value!r}"
-        )
+        """The first plug-in supporting the component's class, resolved
+        once per class (the linear scan used to run on every cache
+        miss)."""
+        component_class = component.component_class
+        plugin = self._plugin_cache.get(component_class)
+        if plugin is None:
+            for candidate in self._plugins:
+                if candidate.supports(component_class):
+                    plugin = candidate
+                    break
+            else:
+                raise ArchitectureError(
+                    f"no plug-in supports component class "
+                    f"{component_class.value!r}"
+                )
+            self._plugin_cache[component_class] = plugin
+        return plugin
 
     def energy_pj(self, component: Component, action: str) -> float:
         """Energy of one ``action`` on one instance of ``component``."""
+        ident = (id(component), action)
+        hit = self._energy_by_identity.get(ident)
+        if hit is not None and hit[0] is component:
+            return hit[1]
         key = (self._key(component), action)
         if key not in self._energy_cache:
             self._energy_cache[key] = self._plugin_for(component).energy_pj(
                 component, action
             )
-        return self._energy_cache[key]
+        energy = self._energy_cache[key]
+        self._energy_by_identity[ident] = (component, energy)
+        return energy
+
+    def energy_vector(
+        self,
+        components_actions: Sequence[Tuple[Component, str]],
+    ) -> np.ndarray:
+        """Per-pair action energies as one float64 vector.
+
+        The bulk query of the batched pricing layer: one call resolves
+        every (component, action) of an activity matrix, and each
+        energy is the exact value :meth:`energy_pj` returns (same
+        cache), so batch pricing cannot drift from scalar pricing.
+        """
+        return np.array(
+            [
+                self.energy_pj(component, action)
+                for component, action in components_actions
+            ],
+            dtype=np.float64,
+        )
 
     def area_um2(self, component: Component) -> float:
         """Total area of the component group (per-instance area x count)."""

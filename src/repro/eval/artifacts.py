@@ -444,6 +444,11 @@ class RunPlan:
                 wall_time_s=wall_time_s,
                 title=spec.title,
             )
+        # A finished run is durable: in-batch cache flushes are
+        # debounced, so persist whatever the debounce deferred before
+        # announcing completion (the flush is part of the run's wall
+        # time, as it was when every batch flushed).
+        engine.flush()
         yield RunFinished(
             results=results,
             stats=engine.stats_since(run_checkpoint),

@@ -37,6 +37,8 @@ import re
 import sqlite3
 import tempfile
 import threading
+import time
+from functools import lru_cache
 from pathlib import Path
 from urllib.parse import quote
 from typing import Any, Dict, List, Optional, Tuple
@@ -101,11 +103,30 @@ def _plugin_signature(plugin: object) -> Any:
     return signature
 
 
+#: Memoized fingerprints, keyed by the *identity* of the table and
+#: plug-in objects that feed them. Every default-constructed Estimator
+#: shares one table/plug-in set (see ``_default_setup``), so repeated
+#: cache attachments skip the asdict/json/sha work entirely. The memo
+#: value pins strong references to the keyed objects, so their ids
+#: cannot be recycled. Assumes fingerprint inputs are not mutated in
+#: place — the same assumption the cache itself already makes.
+_fingerprint_memo: Dict[
+    Tuple[int, Tuple[int, ...]], Tuple[Any, Tuple[Any, ...], str]
+] = {}
+
+
 def estimator_fingerprint(estimator: Estimator) -> str:
     """A stable hex digest of everything that determines an
     estimator's numbers: the technology table, the plug-in stack
     (classes plus their configuration), and the library's cost-model
     version."""
+    memo_key = (
+        id(estimator.table),
+        tuple(id(p) for p in estimator._plugins),
+    )
+    hit = _fingerprint_memo.get(memo_key)
+    if hit is not None:
+        return hit[2]
     table = dataclasses.asdict(estimator.table)
     payload = {
         "model_version": MODEL_FINGERPRINT_VERSION,
@@ -116,15 +137,21 @@ def estimator_fingerprint(estimator: Estimator) -> str:
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()
-    ).hexdigest()
-    return digest[:16]
+    ).hexdigest()[:16]
+    _fingerprint_memo[memo_key] = (
+        estimator.table, tuple(estimator._plugins), digest
+    )
+    return digest
 
 
+@lru_cache(maxsize=65536)
 def pair_digest(design: str, workload_key: WorkloadKey) -> str:
     """The storage key for one (design, workload) pair.
 
     Workload keys are nested tuples of strings/ints/floats whose
     ``repr`` is deterministic across processes and Python versions.
+    Memoized: a sweep digests the same pairs once on probe and once on
+    put, and repeated sweeps in one process re-digest them all.
     """
     return hashlib.sha256(
         repr((design, workload_key)).encode()
@@ -140,6 +167,18 @@ def _entry_to_raw(metrics: Optional[Metrics]) -> Optional[Dict[str, Any]]:
 
 def _entry_from_raw(raw: Optional[Dict[str, Any]]) -> Optional[Metrics]:
     return None if raw is None else metrics_from_dict(raw)
+
+
+def _encode_entry_run(
+    entries: Dict[str, Optional[Metrics]]
+) -> str:
+    """``json.dumps`` of a non-empty digest -> entry run, minus the
+    outer braces — the cacheable building block of the JSON store's
+    file body (one C-encoder pass over the whole run instead of one
+    ``dumps`` call per entry)."""
+    return json.dumps(
+        {digest: _entry_to_raw(metrics) for digest, metrics in entries.items()}
+    )[1:-1]
 
 
 class CacheStore:
@@ -165,6 +204,15 @@ class CacheStore:
     def load(self) -> Dict[str, Optional[Metrics]]:
         """All on-disk entries (best-effort: corruption reads empty)."""
         raise NotImplementedError
+
+    def get_many(
+        self, digests: List[str]
+    ) -> Dict[str, Optional[Metrics]]:
+        """Entries for ``digests`` that landed on disk *after*
+        :meth:`load` (a concurrent process filling the same cache).
+        Best-effort: the default says "nothing new", which is exact for
+        stores whose load reads the whole file into memory."""
+        return {}
 
     def flush(
         self,
@@ -192,6 +240,15 @@ class JsonCacheStore(CacheStore):
         #: this store — lets flush skip the read-merge step when no
         #: other writer has touched the file in between.
         self._disk_state: Optional[Tuple[int, int]] = None
+        #: Encoded runs of entries, in file order: (digests, fragment)
+        #: where ``fragment`` is ``json.dumps`` of those entries as a
+        #: dict, minus the outer braces. Rewriting the whole file is
+        #: inherent to the format, but *re-encoding* every Metrics per
+        #: flush is not: each flush encodes only its new entries (one
+        #: C-encoder pass, not one ``dumps`` per entry) and joins the
+        #: prior runs as cached strings. A chunk is re-encoded only
+        #: when one of its entries is overwritten.
+        self._chunks: List[Tuple[Tuple[str, ...], str]] = []
 
     def _stat(self) -> Optional[Tuple[int, int]]:
         try:
@@ -230,17 +287,49 @@ class JsonCacheStore(CacheStore):
         self.directory.mkdir(parents=True, exist_ok=True)
         merged = dict(entries)
         if self._stat() != self._disk_state:
-            # Foreign writes landed: merge them under ours.
+            # Foreign writes landed: merge them under ours. Unknown
+            # digests are appended, so they join this flush's "new
+            # entries" chunk in merged-dict order.
             for digest, entry in self._read_entries(self.path).items():
                 merged.setdefault(digest, entry)
-        _write_raw_json(
-            self.path,
-            self.fingerprint,
+        dirty_set = set(dirty)
+        chunks: List[Tuple[Tuple[str, ...], str]] = []
+        covered: set = set()
+        for digests, fragment in self._chunks:
+            if not dirty_set.isdisjoint(digests):
+                # Overwritten entries must not reuse a stale encoding;
+                # re-encode the whole run in place to keep file order
+                # (entries are never removed, so every digest is in
+                # ``merged``).
+                fragment = _encode_entry_run(
+                    {d: merged[d] for d in digests}
+                )
+            chunks.append((digests, fragment))
+            covered.update(digests)
+        fresh = tuple(d for d in merged if d not in covered)
+        if fresh:
+            chunks.append(
+                (fresh, _encode_entry_run({d: merged[d] for d in fresh}))
+            )
+        self._chunks = chunks
+        # Assembled by hand from the cached fragments, but the bytes
+        # are exactly json.dumps of the payload dict (digests are hex,
+        # so they need no escaping; separators match the defaults, and
+        # appends only ever land at the end of the merged dict, so the
+        # chunk concatenation is the dict's iteration order).
+        head = json.dumps(
             {
-                digest: _entry_to_raw(metrics)
-                for digest, metrics in merged.items()
-            },
+                "schema_version": CACHE_SCHEMA_VERSION,
+                "fingerprint": self.fingerprint,
+            }
         )
+        text = (
+            head[:-1]
+            + ', "entries": {'
+            + ", ".join(fragment for _, fragment in chunks)
+            + "}}"
+        )
+        _atomic_write_text(self.path, text)
         self._disk_state = self._stat()
         return merged
 
@@ -389,6 +478,38 @@ class SqliteCacheStore(CacheStore):
             entries.setdefault(digest, metrics)
         return entries
 
+    def get_many(
+        self, digests: List[str]
+    ) -> Dict[str, Optional[Metrics]]:
+        """Probe the database for ``digests`` in one query per ~500
+        keys — picks up rows a concurrent writer committed since our
+        load. Best-effort like every runtime read: any database problem
+        reports "nothing found" rather than raising."""
+        if not digests or not self.path.exists():
+            return {}
+        found: Dict[str, Optional[Metrics]] = {}
+        try:
+            conn = self._connect()
+            if _sqlite_meta(conn).get("schema_version") != str(
+                CACHE_SCHEMA_VERSION
+            ):
+                return {}
+            for start in range(0, len(digests), 500):
+                chunk = digests[start:start + 500]
+                placeholders = ",".join("?" * len(chunk))
+                for digest, text in conn.execute(
+                    f"SELECT digest, metrics FROM entries "
+                    f"WHERE digest IN ({placeholders})",
+                    chunk,
+                ):
+                    found[digest] = (
+                        None if text is None
+                        else metrics_from_dict(json.loads(text))
+                    )
+        except Exception:
+            return {}
+        return found
+
     def _upsert(
         self,
         dirty: Dict[str, Optional[Metrics]],
@@ -522,6 +643,10 @@ class PersistentCache:
         self._entries: Dict[str, Optional[Metrics]] = {}
         self._dirty: Dict[str, Optional[Metrics]] = {}
         self._lock = threading.Lock()
+        # Debounce clock for maybe_flush: "the file is never more than
+        # `min_interval` behind" holds from construction, so a cache
+        # that lives shorter than the interval persists once, at close.
+        self._last_flush = time.monotonic()
         self._entries.update(self.store.load())
 
     @classmethod
@@ -552,6 +677,39 @@ class PersistentCache:
                 pair_digest(design, workload_key), MISS
             )
 
+    def get_many(
+        self, pairs: "List[Tuple[str, WorkloadKey]]"
+    ) -> List[Any]:
+        """Cached metrics for each (design, workload key) pair, in
+        order, with :data:`MISS` for absent entries.
+
+        One lock acquisition serves the whole batch from memory; keys
+        still missing are then probed against the backing store in one
+        bulk query (the SQLite store sees rows concurrent processes
+        committed after our load). Store finds are folded into the
+        in-memory view but *not* marked dirty — they are already on
+        disk."""
+        digests = [
+            pair_digest(design, workload_key)
+            for design, workload_key in pairs
+        ]
+        with self._lock:
+            results = [self._entries.get(d, MISS) for d in digests]
+            missing = [
+                digest
+                for digest, value in zip(digests, results)
+                if value is MISS
+            ]
+            if missing:
+                found = self.store.get_many(missing)
+                if found:
+                    for digest, metrics in found.items():
+                        self._entries.setdefault(digest, metrics)
+                    results = [
+                        self._entries.get(d, MISS) for d in digests
+                    ]
+        return results
+
     def put(
         self,
         design: str,
@@ -563,6 +721,24 @@ class PersistentCache:
             self._entries[digest] = metrics
             self._dirty[digest] = metrics
 
+    def put_many(
+        self,
+        entries: "List[Tuple[str, WorkloadKey, Optional[Metrics]]]",
+    ) -> None:
+        """Record a batch of entries under one lock acquisition.
+
+        Equivalent to :meth:`put` per entry; the batch form keeps the
+        engine's per-design-group recording off the per-entry lock
+        treadmill."""
+        staged = [
+            (pair_digest(design, workload_key), metrics)
+            for design, workload_key, metrics in entries
+        ]
+        with self._lock:
+            for digest, metrics in staged:
+                self._entries[digest] = metrics
+                self._dirty[digest] = metrics
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -570,14 +746,37 @@ class PersistentCache:
     def flush(self) -> None:
         """Persist entries added since the last flush."""
         with self._lock:
+            self._flush_locked()
+
+    def maybe_flush(self, min_interval: float) -> bool:
+        """Flush, unless a flush already ran within the last
+        ``min_interval`` seconds; returns whether a flush happened.
+
+        The engine calls this after every evaluation batch: a run of
+        many small batches (a network sweep is one batch per layer
+        group) pays for one file rewrite per interval instead of one
+        per batch, while a crash still loses at most ``min_interval``
+        of completed work — and only on hard kills, since every
+        Python-level exit path funnels through :meth:`close`, which
+        flushes unconditionally."""
+        with self._lock:
             if not self._dirty:
-                return
-            # No snapshot copies: the lock is held for the duration,
-            # and the JSON store builds its own merged dict (the
-            # SQLite store reads ``entries`` only on corruption
-            # recovery), so the SQLite flush stays O(dirty).
-            self._entries = self.store.flush(self._entries, self._dirty)
-            self._dirty.clear()
+                return False
+            if time.monotonic() - self._last_flush < min_interval:
+                return False
+            self._flush_locked()
+            return True
+
+    def _flush_locked(self) -> None:
+        if not self._dirty:
+            return
+        # No snapshot copies: the lock is held for the duration,
+        # and the JSON store builds its own merged dict (the
+        # SQLite store reads ``entries`` only on corruption
+        # recovery), so the SQLite flush stays O(dirty).
+        self._entries = self.store.flush(self._entries, self._dirty)
+        self._dirty.clear()
+        self._last_flush = time.monotonic()
 
     def close(self) -> None:
         """Flush pending entries and release backend resources (the
@@ -768,13 +967,20 @@ def _require_fingerprint(path: Path, fingerprint: Any) -> None:
 
 
 def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    # dumps-then-write, not json.dump: streaming to a file handle
+    # takes the pure-Python iterencode path, while dumps uses the C
+    # encoder (several times faster on flush-sized payloads).
+    _atomic_write_text(path, json.dumps(payload))
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=".cache-", suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
+            handle.write(text)
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):

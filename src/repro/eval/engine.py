@@ -25,11 +25,14 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.accelerators import REGISTRY, main_design_names
-from repro.accelerators.base import AcceleratorDesign
+from repro.accelerators.base import (
+    AcceleratorDesign,
+    evaluate_workloads_batch,
+)
 from repro.accelerators.registry import DesignRegistry
 from repro.energy.estimator import Estimator
 from repro.errors import EvaluationError
@@ -319,6 +322,7 @@ class SweepEngine:
         registry: Optional[DesignRegistry] = None,
         backend: str = "thread",
         cache: Optional[cache_mod.PersistentCache] = None,
+        use_batch: bool = True,
     ) -> None:
         if jobs < 1:
             raise EvaluationError(f"jobs must be >= 1, got {jobs}")
@@ -337,9 +341,21 @@ class SweepEngine:
             )
         self.backend = backend
         self.persistent = cache
+        #: Route cache-miss batches through the designs' vectorized
+        #: ``evaluate_batch`` path (``False`` forces the scalar
+        #: reference path — benchmarks use it for before/after timing).
+        self.use_batch = use_batch
+        #: Minimum seconds between end-of-batch persistent-cache
+        #: flushes (``close()`` and the failure path always flush).
+        #: 0 restores the old flush-every-batch behavior.
+        self.flush_interval = 5.0
         self.stats = EngineStats()
         self._cache: Dict[PairKey, Optional[Metrics]] = {}
-        self._inflight: Dict[PairKey, threading.Event] = {}
+        # A claimed-but-unfinished key maps to None until some
+        # other caller actually needs to wait on it; the Event is
+        # materialized lazily (most sweep misses never get a
+        # concurrent waiter, and Event construction is pure cost).
+        self._inflight: Dict[PairKey, Optional[threading.Event]] = {}
         self._lock = threading.Lock()
         self._instances: Dict[str, AcceleratorDesign] = {}
         self._process_pool: Optional[ProcessPoolExecutor] = None
@@ -382,10 +398,12 @@ class SweepEngine:
 
     def design(self, name: str) -> AcceleratorDesign:
         """The engine's instance of a registered design (one per name;
-        designs are stateless so instances are safely reused)."""
+        designs are stateless so instances are shared process-wide via
+        the registry — rebuilding arch specs per engine was measurable
+        in sweep setup)."""
         with self._lock:
             if name not in self._instances:
-                self._instances[name] = self.registry.create(name)
+                self._instances[name] = self.registry.shared(name)
             return self._instances[name]
 
     def _evaluate_pair(self, pair: Pair) -> Optional[Metrics]:
@@ -435,14 +453,27 @@ class SweepEngine:
             stale.shutdown(wait=False)
         return pool
 
+    def flush(self) -> None:
+        """Flush the persistent cache (if any) unconditionally.
+
+        In-batch flushes are debounced (:attr:`flush_interval`);
+        callers that just finished a logical unit of work — an
+        artifact run, a CLI command — call this to make it durable
+        without tearing down worker pools like :meth:`close` does.
+        """
+        if self.persistent is not None:
+            self.persistent.flush()
+
     def close(self) -> None:
         """Flush the persistent cache and release worker pools.
 
         Safe to call repeatedly, and the engine stays usable afterwards
         (pools and the cache's backing store reopen lazily). The CLI
         calls this on every exit path so an interrupt mid-grid still
-        persists every completed evaluation (results are recorded and
-        flushed incrementally in :meth:`evaluate_workloads`; queued
+        persists every completed evaluation (results are recorded
+        incrementally in :meth:`evaluate_workloads` and flushed there
+        at most every :attr:`flush_interval` seconds; this close — and
+        the in-batch failure path — flush unconditionally; queued
         work that never started is cancelled, not drained).
         """
         try:
@@ -482,6 +513,94 @@ class SweepEngine:
             )
         return (self._evaluate_pair(pair) for pair in pending)
 
+    def _run_misses(self, own: Dict[PairKey, Pair]):
+        """Chunks of ``(key, metrics)`` results for every owned miss,
+        yielded as they complete.
+
+        Misses on batch-capable designs are grouped per design and
+        evaluated through the vectorized ``evaluate_batch`` path (one
+        numpy pass instead of one Python model walk per pair); the
+        rest — non-batch designs, or everything when ``use_batch`` is
+        off — streams through the scalar worker path. Both paths
+        produce bit-identical Metrics, so the caller records results
+        the same way regardless of route. Each yielded chunk is the
+        unit of completion — a whole design group on the batch path
+        (the group is one numpy pass, so its results materialize
+        together), a single pair on the scalar path — which is also
+        the interrupt-durability granularity.
+        """
+        scalar: Dict[PairKey, Pair] = {}
+        grouped: Dict[str, List[Tuple[PairKey, MatmulWorkload]]] = {}
+        designs: Dict[str, AcceleratorDesign] = {}
+        if self.use_batch:
+            for key, (design_name, workload) in own.items():
+                design = designs.get(design_name)
+                if design is None:
+                    design = designs[design_name] = self.design(
+                        design_name
+                    )
+                if design.batch_capable:
+                    grouped.setdefault(design_name, []).append(
+                        (key, workload)
+                    )
+                else:
+                    scalar[key] = (design_name, workload)
+        else:
+            scalar = dict(own)
+        for design_name, group in grouped.items():
+            results = evaluate_workloads_batch(
+                designs[design_name],
+                [workload for _, workload in group],
+                self.estimator,
+            )
+            yield [
+                (key, metrics)
+                for (key, _), metrics in zip(group, results)
+            ]
+        for key, metrics in zip(
+            scalar, self._run_batch(list(scalar.values()))
+        ):
+            yield [(key, metrics)]
+
+    def _wait_event(self, key: "PairKey") -> threading.Event:
+        """The Event a caller must wait on for an in-flight key,
+        materializing it on first demand. Caller holds the lock."""
+        event = self._inflight[key]
+        if event is None:
+            event = threading.Event()
+            self._inflight[key] = event
+        return event
+
+    def _claim_unknown(
+        self,
+        unknown: Dict[PairKey, Pair],
+        probed: List[Any],
+        own: Dict[PairKey, Pair],
+        waits: Dict[PairKey, threading.Event],
+    ) -> None:
+        """Resolve keys absent from the in-memory cache at phase 1:
+        fill disk hits, adopt concurrent fills, claim true misses.
+        Caller holds the engine lock (it was *released* around the
+        disk probe, so another thread may have resolved a key since)."""
+        for (key, pair), cached in zip(unknown.items(), probed):
+            if key in self._cache:
+                self.stats.hits += 1
+            elif key in self._inflight:
+                waits[key] = self._wait_event(key)
+                self.stats.hits += 1
+            elif cached is not cache_mod.MISS:
+                self._cache[key] = cached
+                self.stats.disk_hits += 1
+            else:
+                # Evaluate the stripped (label-free) workload so the
+                # cached Metrics (whose `workload` string comes from
+                # describe()) are content-derived, not named after
+                # whichever caller asked first.
+                design, workload = pair
+                own[key] = (design, workload.stripped)
+                self._inflight[key] = None
+                self.stats.misses += 1
+
     def evaluate_workloads(
         self, pairs: Sequence[Pair]
     ) -> List[Optional[Metrics]]:
@@ -489,50 +608,61 @@ class SweepEngine:
 
         Repeats — within the batch, across batches, across concurrent
         callers, and (with a persistent cache) across runs — are served
-        from cache; each unique pair is evaluated exactly once.
+        from cache; each unique pair is evaluated exactly once. The
+        persistent cache is probed in one bulk :meth:`~repro.eval.cache
+        .PersistentCache.get_many` *outside* the engine lock, so a
+        large cold batch never stalls concurrent callers on disk I/O.
         """
         keys: List[PairKey] = [
             (design, workload.key()) for design, workload in pairs
         ]
         own: Dict[PairKey, Pair] = {}
         waits: Dict[PairKey, threading.Event] = {}
+        unknown: Dict[PairKey, Pair] = {}
         with self._lock:
             for key, pair in zip(keys, pairs):
-                if key in own or key in self._cache:
+                if key in unknown:
+                    # Duplicate within the batch: resolved whichever
+                    # way its first occurrence goes.
+                    self.stats.hits += 1
+                elif key in self._cache:
                     self.stats.hits += 1
                 elif key in self._inflight:
-                    waits[key] = self._inflight[key]
+                    waits[key] = self._wait_event(key)
                     self.stats.hits += 1
                 else:
-                    cached = (
-                        self.persistent.get(key[0], key[1])
-                        if self.persistent is not None
-                        else cache_mod.MISS
-                    )
-                    if cached is not cache_mod.MISS:
-                        self._cache[key] = cached
-                        self.stats.disk_hits += 1
-                    else:
-                        # Strip the display label before evaluation so
-                        # the cached Metrics (whose `workload` string
-                        # comes from describe()) are content-derived,
-                        # not named after whichever caller asked first.
-                        design, workload = pair
-                        own[key] = (design, replace(workload, name=""))
-                        self._inflight[key] = threading.Event()
-                        self.stats.misses += 1
+                    unknown[key] = pair
+            if unknown and self.persistent is None:
+                self._claim_unknown(
+                    unknown, [cache_mod.MISS] * len(unknown), own, waits
+                )
+                unknown = {}
+        if unknown:
+            probed = self.persistent.get_many(list(unknown))
+            with self._lock:
+                self._claim_unknown(unknown, probed, own, waits)
         if own:
             try:
-                # Record each result as it completes rather than after
+                # Record each chunk as it completes rather than after
                 # the whole batch: a Ctrl-C at 90% of a grid must keep
-                # the 90%, and a whole grid is typically one batch.
-                results = self._run_batch(list(own.values()))
-                for key, metrics in zip(own, results):
+                # the 90%, and a whole grid is typically one batch. A
+                # chunk is one completion unit (see _run_misses), so
+                # recording it under a single lock round loses nothing.
+                for chunk in self._run_misses(own):
                     with self._lock:
-                        self._cache[key] = metrics
+                        for key, metrics in chunk:
+                            self._cache[key] = metrics
                         if self.persistent is not None:
-                            self.persistent.put(key[0], key[1], metrics)
-                        self._inflight.pop(key).set()
+                            self.persistent.put_many(
+                                [
+                                    (key[0], key[1], metrics)
+                                    for key, metrics in chunk
+                                ]
+                            )
+                        for key, _ in chunk:
+                            event = self._inflight.pop(key)
+                            if event is not None:
+                                event.set()
             except BaseException:
                 with self._lock:
                     for key in own:
@@ -549,9 +679,12 @@ class SweepEngine:
                 raise
             # Disk I/O stays outside the engine lock (the cache has its
             # own); other threads keep hitting the in-memory cache
-            # while the merged file is rewritten.
+            # while the merged file is rewritten. Debounced: a sweep of
+            # many quick batches persists once per flush_interval (and
+            # unconditionally at close / on the failure path above)
+            # instead of rewriting the file per batch.
             if self.persistent is not None:
-                self.persistent.flush()
+                self.persistent.maybe_flush(self.flush_interval)
         for event in waits.values():
             event.wait()
         with self._lock:

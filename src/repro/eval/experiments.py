@@ -260,6 +260,15 @@ def validate_profile(
         )
 
 
+#: Memoized realizations per (design, model identity, degree) — holds
+#: a strong model reference so the id stays valid. Only profile-free
+#: requests are memoized (profiles are open-ended mappings).
+_model_pairs_memo: Dict[
+    Tuple[str, int, float],
+    Tuple[DnnModel, List[Pair], List[Tuple[object, int]]],
+] = {}
+
+
 def _model_pairs(
     design_name: str,
     model: DnnModel,
@@ -273,8 +282,15 @@ def _model_pairs(
     weight sparsity; other layers stay dense — which is why dense
     layers deduplicate across every degree of a sweep. A ``profile``
     overrides the degree per named layer (prunable or not), so one
-    sweep point can mix degrees across the network.
+    sweep point can mix degrees across the network. Profile-free
+    realizations are memoized (callers treat the lists as read-only);
+    repeated sweeps of one model re-realize nothing.
     """
+    memo_key = (design_name, id(model), weight_sparsity)
+    if profile is None:
+        hit = _model_pairs_memo.get(memo_key)
+        if hit is not None and hit[0] is model:
+            return hit[1], hit[2]
     pairs: List[Pair] = []
     spans: List[Tuple[object, int]] = []
     for layer in model.layers:
@@ -292,6 +308,8 @@ def _model_pairs(
         )
         spans.append((layer, len(candidates)))
         pairs.extend((design_name, workload) for workload in candidates)
+    if profile is None:
+        _model_pairs_memo[memo_key] = (model, pairs, spans)
     return pairs, spans
 
 

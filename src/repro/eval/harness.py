@@ -12,7 +12,8 @@ realizations for a (sparsity_A, sparsity_B) cell and evaluates the best.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from functools import lru_cache
+from typing import List, Optional, Tuple
 
 from repro.accelerators.base import AcceleratorDesign
 from repro.energy.estimator import Estimator
@@ -80,7 +81,28 @@ def realize_workloads(
     structure: unstructured for DSTC; 2:4-compatible HSS for STC; G:8
     for S2TA; two-rank HSS (weights) plus unstructured (activations)
     for HighLight. Dense TC ignores sparsity entirely.
+
+    Realizations are memoized (workloads are frozen, so sharing
+    instances is safe): sweeps re-realize the same (design, degrees,
+    shape) points constantly — every degree ladder revisits its dense
+    layers, every grid its repeated shapes — and operand construction
+    validates HSS pattern densities with exact Fraction arithmetic,
+    which is too slow to repeat per request.
     """
+    return list(
+        _realize_workloads(design_name, sparsity_a, sparsity_b, m, k, n)
+    )
+
+
+@lru_cache(maxsize=4096)
+def _realize_workloads(
+    design_name: str,
+    sparsity_a: float,
+    sparsity_b: float,
+    m: int,
+    k: int,
+    n: int,
+) -> Tuple[MatmulWorkload, ...]:
     name = design_name.lower()
     label = f"A{sparsity_a:.4g}/B{sparsity_b:.4g}"
 

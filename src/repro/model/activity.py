@@ -8,6 +8,7 @@ Fig. 16(a).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
@@ -25,7 +26,16 @@ class ActivityCounts:
     counts: Dict[Event, float] = field(default_factory=dict)
 
     def add(self, component: str, action: str, count: float) -> None:
-        """Accumulate ``count`` firings of ``action`` on ``component``."""
+        """Accumulate ``count`` firings of ``action`` on ``component``.
+
+        NaN/inf counts are rejected loudly: a NaN passes every ordering
+        comparison and would otherwise propagate silently into cached
+        Metrics, poisoning the persistent cache.
+        """
+        if not math.isfinite(count):
+            raise ModelError(
+                f"non-finite count for {component}.{action}: {count}"
+            )
         if count < 0:
             raise ModelError(
                 f"negative count for {component}.{action}: {count}"

@@ -1,0 +1,347 @@
+"""Stacked-workload batch evaluation: arrays in, Metrics out.
+
+The scalar model path costs one workload at a time: Python arithmetic,
+one :class:`~repro.model.activity.ActivityCounts` dict per workload,
+one estimator lookup per event. A sweep asks the same ~20 questions of
+thousands of workloads, so the batch path restructures the hot loop as
+numpy array operations over *stacked* workload parameters:
+
+* :class:`WorkloadBatch` holds the m/k/n dimensions, operand densities,
+  and operand structure codes of N workloads as parallel arrays;
+* :class:`ActivityMatrix` is the batched counterpart of
+  ``ActivityCounts`` — per-(component, action) count *vectors* — priced
+  through one :meth:`~repro.energy.estimator.Estimator.energy_vector`
+  query per batch instead of per-event dict lookups.
+
+The scalar path stays the reference implementation: every array
+expression in this layer mirrors the scalar operation order exactly, so
+batch results are bit-identical (the equivalence suite asserts ``==``,
+not ``approx``) and the two paths can share one persistent cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.arch.spec import ArchitectureSpec
+from repro.energy.estimator import Estimator
+from repro.errors import ModelError
+from repro.model.workload import MatmulWorkload, OperandSparsity, Structure
+
+Event = Tuple[str, str]  # (component name, action)
+
+T = TypeVar("T")
+
+#: Stable integer codes for operand structures in stacked arrays.
+STRUCTURE_CODES: Dict[Structure, int] = {
+    Structure.DENSE: 0,
+    Structure.HSS: 1,
+    Structure.UNSTRUCTURED: 2,
+}
+
+DENSE_CODE = STRUCTURE_CODES[Structure.DENSE]
+HSS_CODE = STRUCTURE_CODES[Structure.HSS]
+UNSTRUCTURED_CODE = STRUCTURE_CODES[Structure.UNSTRUCTURED]
+
+
+@dataclass(frozen=True)
+class WorkloadBatch:
+    """N workloads as parallel arrays (plus the originals for anything
+    the arrays cannot carry: HSS patterns, display labels).
+
+    Dimension products are exposed as float64 arrays computed from the
+    exact integer products, matching the scalar path's ``float(m * k)``
+    conversions bit for bit.
+    """
+
+    workloads: Tuple[MatmulWorkload, ...]
+    m: np.ndarray
+    k: np.ndarray
+    n: np.ndarray
+    a_density: np.ndarray
+    b_density: np.ndarray
+    a_structure: np.ndarray
+    b_structure: np.ndarray
+
+    @classmethod
+    def from_workloads(
+        cls, workloads: Sequence[MatmulWorkload]
+    ) -> "WorkloadBatch":
+        stacked = tuple(workloads)
+        if not stacked:
+            raise ModelError("a WorkloadBatch needs at least one workload")
+        return cls(
+            workloads=stacked,
+            m=np.array([w.m for w in stacked], dtype=np.int64),
+            k=np.array([w.k for w in stacked], dtype=np.int64),
+            n=np.array([w.n for w in stacked], dtype=np.int64),
+            a_density=np.array(
+                [w.a.density for w in stacked], dtype=np.float64
+            ),
+            b_density=np.array(
+                [w.b.density for w in stacked], dtype=np.float64
+            ),
+            a_structure=np.array(
+                [STRUCTURE_CODES[w.a.structure] for w in stacked],
+                dtype=np.int8,
+            ),
+            b_structure=np.array(
+                [STRUCTURE_CODES[w.b.structure] for w in stacked],
+                dtype=np.int8,
+            ),
+        )
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+    # Integer dimension products are exact well past any realistic GEMM
+    # (the float64 conversion below is the only rounding step, exactly
+    # as in the scalar path).
+
+    @cached_property
+    def dense_products(self) -> np.ndarray:
+        """``float(m * k * n)`` per workload."""
+        return (self.m * self.k * self.n).astype(np.float64)
+
+    @cached_property
+    def mk(self) -> np.ndarray:
+        """``float(m * k)`` per workload (operand-A slots)."""
+        return (self.m * self.k).astype(np.float64)
+
+    @cached_property
+    def kn(self) -> np.ndarray:
+        """``float(k * n)`` per workload (operand-B slots)."""
+        return (self.k * self.n).astype(np.float64)
+
+    @cached_property
+    def mn(self) -> np.ndarray:
+        """``float(m * n)`` per workload (output words)."""
+        return (self.m * self.n).astype(np.float64)
+
+    @cached_property
+    def a_is_dense(self) -> np.ndarray:
+        return self.a_structure == DENSE_CODE
+
+    @cached_property
+    def b_is_dense(self) -> np.ndarray:
+        return self.b_structure == DENSE_CODE
+
+    @cached_property
+    def a_is_hss(self) -> np.ndarray:
+        return self.a_structure == HSS_CODE
+
+    @cached_property
+    def b_is_hss(self) -> np.ndarray:
+        return self.b_structure == HSS_CODE
+
+    @cached_property
+    def a_keys(self) -> List[tuple]:
+        """Operand-A content keys (computed once per batch)."""
+        return [w.a.key() for w in self.workloads]
+
+    @cached_property
+    def b_keys(self) -> List[tuple]:
+        """Operand-B content keys (computed once per batch)."""
+        return [w.b.key() for w in self.workloads]
+
+    def subset(self, indices: Sequence[int]) -> "WorkloadBatch":
+        """The sub-batch at ``indices`` (in the given order)."""
+        return WorkloadBatch.from_workloads(
+            [self.workloads[i] for i in indices]
+        )
+
+    def map_a(self, fn: Callable[[OperandSparsity], T]) -> List[T]:
+        """``fn`` over operand A of each workload, memoized by operand
+        content key (a sweep batch holds few distinct operands)."""
+        return _map_operands(
+            self.a_keys, [w.a for w in self.workloads], fn
+        )
+
+    def map_b(self, fn: Callable[[OperandSparsity], T]) -> List[T]:
+        """``fn`` over operand B of each workload, memoized likewise."""
+        return _map_operands(
+            self.b_keys, [w.b for w in self.workloads], fn
+        )
+
+    @cached_property
+    def descriptions(self) -> List[str]:
+        """Per-workload ``describe()`` strings, with the operand parts
+        memoized by content key (pattern formatting is the expensive
+        half of the scalar ``describe``)."""
+        a_parts = self.map_a(OperandSparsity.describe)
+        b_parts = self.map_b(OperandSparsity.describe)
+        return [
+            (
+                f"{w.name or f'{w.m}x{w.k}x{w.n}'}: "
+                f"A={a_part}, B={b_part}"
+            )
+            for w, a_part, b_part in zip(
+                self.workloads, a_parts, b_parts
+            )
+        ]
+
+
+def _map_operands(
+    keys: Sequence[tuple],
+    operands: Sequence[OperandSparsity],
+    fn: Callable[[OperandSparsity], T],
+) -> List[T]:
+    memo: Dict[tuple, T] = {}
+    out: List[T] = []
+    for key, operand in zip(keys, operands):
+        if key not in memo:
+            memo[key] = fn(operand)
+        out.append(memo[key])
+    return out
+
+
+class ActivityMatrix:
+    """Batched :class:`~repro.model.activity.ActivityCounts`: one count
+    vector per (component, action) over a whole batch.
+
+    Per-workload zero counts are kept in the vectors (adding 0.0 is
+    exact) and filtered only at materialization, which reproduces the
+    scalar accumulator's key-presence rule: an event appears in a
+    workload's energy breakdown iff its scalar count would be > 0.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ModelError(f"batch size must be positive, got {size}")
+        self.size = size
+        self.counts: Dict[Event, np.ndarray] = {}
+
+    def add(
+        self, component: str, action: str, counts: "np.ndarray | float"
+    ) -> None:
+        """Accumulate per-workload firing counts of one event.
+
+        Scalars broadcast over the batch. Counts are validated when
+        the matrix is materialized (:meth:`energy_rows`), not per add:
+        the scalar accumulator checks each call, but here two array
+        reductions per add would dominate the batched assembly, and
+        every poisoned value still surfaces — NaN/inf propagate
+        through accumulation and a net-negative total is caught on the
+        accumulated vector.
+        """
+        vec = np.asarray(counts, dtype=np.float64)
+        if vec.shape != (self.size,):
+            vec = np.broadcast_to(vec, (self.size,))
+        key = (component, action)
+        existing = self.counts.get(key)
+        if existing is None:
+            # Copy: broadcast views are read-only and may alias input.
+            self.counts[key] = np.array(vec)
+        else:
+            self.counts[key] = existing + vec
+
+    def energy_rows(
+        self, arch: ArchitectureSpec, estimator: Estimator
+    ) -> Tuple[List[Dict[str, float]], np.ndarray]:
+        """Per-workload component energy breakdowns in pJ, plus the
+        per-workload totals (``sum(breakdown.values())`` of each row).
+
+        The totals are a sequential left fold of the component energy
+        vectors in component order. That equals the scalar
+        ``Metrics.energy_pj`` sum bit for bit: the scalar sum walks the
+        same components in the same order, and the positions where a
+        component is absent from a row's breakdown contribute an exact
+        ``+0.0`` (the additive identity for the non-negative energies
+        here), so skipping them changes nothing.
+
+        Components and per-action energies are resolved once per batch
+        (one :meth:`Estimator.energy_vector` query), then each
+        component's event contributions are folded into one energy
+        vector *in event order* — adding a zero-count term contributes
+        exactly +0.0, so the fold equals the scalar ``energy_pj``
+        accumulation bit for bit. The per-workload loop only assembles
+        dicts: a component appears iff any of its event counts is > 0,
+        at its first event's position (for every design's event stream
+        the first event of a present component is itself nonzero, so
+        key order matches the scalar breakdown; the equivalence suite
+        asserts this).
+        """
+        events = list(self.counts)
+        vectors = list(self.counts.values())
+        # Deferred validation of the accumulated event counts (see
+        # :meth:`add`): min >= 0 rejects negatives and NaN (NaN fails
+        # every comparison, and numpy's min propagates it), max < inf
+        # rejects overflow. One stacked check covers every event; the
+        # per-event rescan only runs to name the culprit on failure.
+        if vectors:
+            stacked = np.stack(vectors)
+            if not (stacked.min() >= 0.0 and stacked.max() < math.inf):
+                for (name, action), vec in zip(events, vectors):
+                    if not (vec.min() >= 0.0 and vec.max() < math.inf):
+                        raise ModelError(
+                            f"invalid count for {name}.{action}: "
+                            f"accumulated counts must be finite and "
+                            f"non-negative"
+                        )
+        pairs = [
+            (arch.component(component), action)
+            for component, action in events
+        ]
+        energies = estimator.energy_vector(pairs)
+        component_order: List[str] = []
+        component_energy: Dict[str, np.ndarray] = {}
+        component_present: Dict[str, np.ndarray] = {}
+        for (name, action), energy, vec in zip(
+            events, energies, vectors
+        ):
+            contribution = energy * vec
+            if name in component_energy:
+                component_energy[name] = (
+                    component_energy[name] + contribution
+                )
+                component_present[name] = (
+                    component_present[name] | (vec > 0.0)
+                )
+            else:
+                component_order.append(name)
+                component_energy[name] = contribution
+                component_present[name] = vec > 0.0
+        totals = np.zeros(self.size, dtype=np.float64)
+        for name in component_order:
+            totals = totals + component_energy[name]
+        value_columns = [
+            component_energy[name].tolist() for name in component_order
+        ]
+        if all(
+            component_present[name].all() for name in component_order
+        ):
+            # Every component fires in every workload (the common case
+            # for a sweep batch): each row is a straight zip in
+            # component order, skipping the per-cell presence test.
+            return [
+                dict(zip(component_order, row))
+                for row in zip(*value_columns)
+            ], totals
+        present_columns = [
+            component_present[name].tolist()
+            for name in component_order
+        ]
+        indexed = list(enumerate(component_order))
+        rows: List[Dict[str, float]] = []
+        for i in range(self.size):
+            breakdown: Dict[str, float] = {}
+            for j, name in indexed:
+                if present_columns[j][i]:
+                    breakdown[name] = value_columns[j][i]
+            rows.append(breakdown)
+        return rows, totals
+
+
+def as_vector(
+    value: "np.ndarray | float", size: int
+) -> np.ndarray:
+    """``value`` as a float64 vector of ``size`` (scalars broadcast)."""
+    vec = np.asarray(value, dtype=np.float64)
+    if vec.shape == (size,):
+        return vec
+    return np.broadcast_to(vec, (size,))

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import math
 from fractions import Fraction
+from functools import lru_cache
 from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ModelError
 from repro.model.workload import OperandSparsity, Structure
@@ -25,8 +28,8 @@ HIGHLIGHT_RANK0 = GHRange(2, 2, 4)
 HIGHLIGHT_RANK1 = GHRange(4, 4, 8)
 
 
-def highlight_supported_densities() -> List[float]:
-    """All operand-A densities HighLight's SAFs can exploit, descending."""
+@lru_cache(maxsize=1)
+def _highlight_supported_densities() -> Tuple[float, ...]:
     densities = {
         float(
             Fraction(HIGHLIGHT_RANK0.g, h0)
@@ -35,7 +38,13 @@ def highlight_supported_densities() -> List[float]:
         for h0 in range(HIGHLIGHT_RANK0.h_min, HIGHLIGHT_RANK0.h_max + 1)
         for h1 in range(HIGHLIGHT_RANK1.h_min, HIGHLIGHT_RANK1.h_max + 1)
     }
-    return sorted(densities, reverse=True)
+    return tuple(sorted(densities, reverse=True))
+
+
+def highlight_supported_densities() -> List[float]:
+    """All operand-A densities HighLight's SAFs can exploit, descending
+    (the exact-Fraction enumeration runs once; sweeps ask per operand)."""
+    return list(_highlight_supported_densities())
 
 
 def highlight_supported_density(operand: OperandSparsity) -> float:
@@ -52,7 +61,7 @@ def highlight_supported_density(operand: OperandSparsity) -> float:
             "HighLight operand A must be dense or HSS-structured, got "
             f"{operand.structure.value}"
         )
-    supported = highlight_supported_densities()
+    supported = _highlight_supported_densities()
     candidates = [d for d in supported if d >= operand.density - 1e-12]
     if not candidates:
         # Sparser than the sparsest supported degree: run at the maximum
@@ -106,6 +115,13 @@ def s2ta_quantized_density(operand: OperandSparsity) -> float:
     return math.ceil(operand.density * 8 - 1e-9) / 8.0
 
 
+def s2ta_quantized_density_array(densities: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`s2ta_quantized_density` over stacked densities
+    (same expression per element, so results match bit for bit)."""
+    d = np.asarray(densities, dtype=np.float64)
+    return np.ceil(d * 8 - 1e-9) / 8.0
+
+
 #: Imbalance coefficient for random (unstructured) nonzero locations.
 RANDOM_IMBALANCE_BETA = 0.47
 
@@ -130,6 +146,20 @@ def random_balance_utilization(
     if not 0.0 < density <= 1.0:
         raise ModelError(f"density must be in (0, 1], got {density}")
     return 1.0 / (1.0 + beta * math.sqrt((1.0 - density) / density))
+
+
+def random_balance_utilization_array(
+    densities: np.ndarray, beta: float = RANDOM_IMBALANCE_BETA
+) -> np.ndarray:
+    """Vectorized :func:`random_balance_utilization`.
+
+    Same formula, same operation order, IEEE sqrt — each element is
+    bit-identical to the scalar helper's result.
+    """
+    d = np.asarray(densities, dtype=np.float64)
+    if np.any((d <= 0.0) | (d > 1.0)):
+        raise ModelError("densities must be in (0, 1]")
+    return 1.0 / (1.0 + beta * np.sqrt((1.0 - d) / d))
 
 
 def balance_efficiency(nonzeros_per_slice: float, lanes: int) -> float:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Sequence
 
 from repro.errors import ModelError
@@ -32,12 +33,16 @@ class Metrics:
                 f"utilization must be in (0, 1], got {self.utilization}"
             )
 
-    @property
+    # cached_property, not property: selection rules (best-EDP over
+    # candidates, per-layer folds) re-read these constantly, and the
+    # dataclass is frozen so the derived values can never go stale.
+
+    @cached_property
     def energy_pj(self) -> float:
         """Total energy in picojoules."""
         return sum(self.energy_breakdown_pj.values())
 
-    @property
+    @cached_property
     def edp(self) -> float:
         """Energy-delay product (pJ x cycles)."""
         return self.energy_pj * self.cycles

@@ -12,16 +12,22 @@ where a design explicitly deviates (DSTC's outer-product accumulation).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.arch.designs import DesignResources
 from repro.energy.estimator import Estimator
 from repro.errors import ModelError
 from repro.model.activity import ActivityCounts
+from repro.model.batch import ActivityMatrix, WorkloadBatch, as_vector
 from repro.model.metrics import Metrics
 from repro.model.workload import MatmulWorkload
 
 SafEvent = Tuple[str, str, float]  # (component, action, count)
+
+#: Batched SAF event: (component, action, per-workload count vector).
+SafEventVec = Tuple[str, str, "np.ndarray | float"]
 
 
 def compute_cycles(
@@ -131,3 +137,128 @@ def _dram_name(resources: DesignResources) -> str:
         if component.name.endswith("_dram"):
             return component.name
     raise ModelError(f"{resources.arch.name} has no DRAM component")
+
+
+def compute_cycles_array(
+    scheduled_products: np.ndarray, num_macs: int, utilization
+) -> np.ndarray:
+    """Vectorized :func:`compute_cycles` (same expression per element)."""
+    scheduled = np.asarray(scheduled_products, dtype=np.float64)
+    # min() also rejects NaN (it fails every comparison).
+    if not scheduled.min() > 0:
+        raise ModelError("scheduled_products must be positive")
+    return scheduled / (num_macs * utilization)
+
+
+def build_metrics_batch(
+    *,
+    batch: WorkloadBatch,
+    resources: DesignResources,
+    estimator: Estimator,
+    scheduled_products: np.ndarray,
+    utilization,
+    full_macs,
+    gated_macs=0.0,
+    a_stored_words,
+    a_meta_words=0.0,
+    b_stored_words,
+    b_meta_words=0.0,
+    b_fetch_words,
+    a_fetch_words=None,
+    psum_component: str = "rf",
+    psum_updates=None,
+    saf_events: Iterable[SafEventVec] = (),
+    compress_values=0.0,
+    supported: bool = True,
+    swapped: bool = False,
+) -> List[Metrics]:
+    """Vectorized :func:`build_metrics` over a :class:`WorkloadBatch`.
+
+    Count arguments are per-workload float64 vectors (scalars
+    broadcast). The activity events are emitted in exactly the order of
+    the scalar assembly and every arithmetic expression preserves the
+    scalar operation order, so the returned Metrics — cycles, breakdown
+    values *and* breakdown key order — are bit-identical to evaluating
+    each workload through :func:`build_metrics`.
+    """
+    arch = resources.arch
+    size = len(batch)
+    outputs = batch.mn
+    activity = ActivityMatrix(size)
+
+    activity.add("macs", "mac", full_macs)
+    activity.add("macs", "gated_mac", gated_macs)
+
+    # --- DRAM traffic -------------------------------------------------
+    a_stored_words = as_vector(a_stored_words, size)
+    b_stored_words = as_vector(b_stored_words, size)
+    dram = _dram_name(resources)
+    activity.add(dram, "read", a_stored_words + b_stored_words)
+    activity.add(dram, "read", a_meta_words + b_meta_words)
+    activity.add(dram, "write", outputs)
+
+    # --- GLB data -----------------------------------------------------
+    if a_fetch_words is None:
+        a_fetch_words = a_stored_words
+    activity.add("glb_data", "write", a_stored_words + b_stored_words)
+    activity.add("glb_data", "read", a_fetch_words + b_fetch_words)
+    activity.add("glb_data", "write", outputs)  # drain staging
+    activity.add("glb_data", "read", outputs)
+
+    # --- GLB metadata ---------------------------------------------------
+    meta_words = as_vector(a_meta_words + b_meta_words, size)
+    if meta_words.max() > 0:
+        if not arch.has_component("glb_meta"):
+            raise ModelError(
+                f"{arch.name} produced metadata but has no glb_meta"
+            )
+        activity.add("glb_meta", "write", meta_words)
+        activity.add("glb_meta", "read", meta_words)
+
+    # --- partial sums ---------------------------------------------------
+    if psum_updates is None:
+        psum_updates = (
+            scheduled_products / resources.psum_spatial_reduction
+        )
+    activity.add(psum_component, "read", psum_updates)
+    activity.add(psum_component, "write", psum_updates)
+
+    # --- design-specific SAF events --------------------------------------
+    for component, action, counts in saf_events:
+        activity.add(component, action, counts)
+
+    compress_values = as_vector(compress_values, size)
+    if compress_values.max() > 0:
+        activity.add(
+            "compression_unit", "compress_value", compress_values
+        )
+
+    cycles = compute_cycles_array(
+        scheduled_products, arch.num_macs, utilization
+    )
+    breakdowns, energy_totals = activity.energy_rows(arch, estimator)
+    cycles_list = cycles.tolist()
+    utilization_list = as_vector(utilization, size).tolist()
+    # Seed the derived cached properties from the vectorized totals:
+    # the fold order matches the scalar sum bit for bit (see
+    # ActivityMatrix.energy_rows), and edp is the same one multiply,
+    # so lazy recomputation would produce the identical floats —
+    # seeding just skips ~2 cached_property computes per Metrics.
+    energy_list = energy_totals.tolist()
+    edp_list = (energy_totals * cycles).tolist()
+    descriptions = batch.descriptions
+    out = []
+    for i in range(size):
+        metrics = Metrics(
+            design=arch.name,
+            workload=descriptions[i],
+            cycles=cycles_list[i],
+            energy_breakdown_pj=breakdowns[i],
+            utilization=utilization_list[i],
+            supported=supported,
+            swapped=swapped,
+        )
+        metrics.__dict__["energy_pj"] = energy_list[i]
+        metrics.__dict__["edp"] = edp_list[i]
+        out.append(metrics)
+    return out

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Tuple
 
 from repro.errors import WorkloadError
@@ -93,7 +94,12 @@ class OperandSparsity:
         """Canonical content key: structure, quantized density, and —
         for HSS operands — the concrete per-rank G:H rules (lowest rank
         first), so patterns with equal density but different block
-        hierarchies stay distinct."""
+        hierarchies stay distinct. Computed once per operand (the
+        dataclass is frozen; sweeps ask for keys constantly)."""
+        return self._content_key
+
+    @cached_property
+    def _content_key(self) -> OperandKey:
         ranks: Tuple[Tuple[int, int], ...] = ()
         if self.pattern is not None:
             ranks = tuple((rank.g, rank.h) for rank in self.pattern.ranks)
@@ -172,9 +178,28 @@ class MatmulWorkload:
         and memoization must treat identically shaped/sparse workloads
         as one unit of work no matter how a caller labeled them (the
         same dense layer appears under many labels across a network
-        sweep's degrees and designs).
+        sweep's degrees and designs). Computed once per instance.
         """
+        return self._content_key
+
+    @cached_property
+    def _content_key(self) -> WorkloadKey:
         return (self.m, self.k, self.n, self.a.key(), self.b.key())
+
+    @cached_property
+    def stripped(self) -> "MatmulWorkload":
+        """This workload without its display label (``self`` when it
+        has none). Evaluation caches key on content, so the engine
+        evaluates and stores the stripped form; computing it once per
+        (frozen, memoized) instance keeps that off the sweep hot path.
+        """
+        if not self.name:
+            return self
+        bare = MatmulWorkload(m=self.m, k=self.k, n=self.n,
+                              a=self.a, b=self.b)
+        # Same numerics, same key: share the computed content key.
+        bare.__dict__["_content_key"] = self._content_key
+        return bare
 
     def swapped(self) -> "MatmulWorkload":
         """The transposed-operand workload (Z^T = B^T A^T)."""

@@ -131,6 +131,7 @@ class TestEngineIntegration:
             cache=PersistentCache.for_estimator(tmp_path, cold_estimator),
         )
         cold_sweep = cold.sweep(**grid)
+        cold.flush()  # in-batch flushes are debounced
         assert cold.stats.misses > 0
         warm_estimator = Estimator()
         warm = SweepEngine(
@@ -151,6 +152,7 @@ class TestEngineIntegration:
         cache = PersistentCache.for_estimator(tmp_path, estimator)
         engine = SweepEngine(estimator, cache=cache)
         engine.evaluate_workloads([("HighLight", workload)])
+        engine.flush()
         data = json.loads(cache.path.read_text())
         assert data["fingerprint"] == cache.fingerprint
         assert len(data["entries"]) == 1

@@ -762,3 +762,154 @@ class TestStoreClasses:
         assert SqliteCacheStore.backend == "sqlite"
         assert JsonCacheStore.suffix == ".json"
         assert SqliteCacheStore.suffix == ".db"
+
+
+class TestBulkAccess:
+    """get_many/put_many: the engine's bulk cache interface."""
+
+    def test_get_many_mixes_hits_and_misses_in_order(
+        self, tmp_path, estimator, workload, metrics, backend
+    ):
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        cache.put("HighLight", workload.key(), metrics)
+        cache.put("S2TA", workload.key(), None)
+        results = cache.get_many(
+            [
+                ("HighLight", workload.key()),
+                ("TC", workload.key()),
+                ("S2TA", workload.key()),
+            ]
+        )
+        assert results[0] is metrics
+        assert results[1] is MISS
+        assert results[2] is None
+
+    def test_get_many_probes_store_for_unknown_digests(
+        self, tmp_path, estimator, workload, metrics, backend
+    ):
+        """Entries another process flushed after our load must be
+        found by the bulk probe (and not re-marked dirty)."""
+        writer = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        reader = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        writer.put("HighLight", workload.key(), metrics)
+        writer.flush()
+        if backend == "json":
+            # The JSON store reads whole files at load; a live probe
+            # only sees what this instance already has in memory.
+            (result,) = reader.get_many([("HighLight", workload.key())])
+            assert result is MISS
+        else:
+            (result,) = reader.get_many([("HighLight", workload.key())])
+            assert result is not MISS
+            assert result.cycles == metrics.cycles
+            # The probed entry is already on disk: closing the reader
+            # must not rewrite it.
+            reader.close()
+
+    def test_put_many_equals_repeated_put(
+        self, tmp_path, estimator, workload, metrics, backend
+    ):
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        cache.put_many(
+            [
+                ("HighLight", workload.key(), metrics),
+                ("S2TA", workload.key(), None),
+            ]
+        )
+        cache.flush()
+        reloaded = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        assert len(reloaded) == 2
+        assert reloaded.get("S2TA", workload.key()) is None
+
+
+class TestDebouncedFlush:
+    def test_maybe_flush_defers_within_interval(
+        self, tmp_path, estimator, workload, backend
+    ):
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        cache.put("TC", workload.key(), None)
+        assert cache.maybe_flush(3600.0) is False
+        assert not cache.path.exists()
+        assert cache.maybe_flush(0.0) is True
+        assert cache.path.exists()
+        # Nothing dirty anymore: even an expired interval is a no-op.
+        assert cache.maybe_flush(0.0) is False
+
+    def test_close_persists_what_maybe_flush_deferred(
+        self, tmp_path, estimator, workload, backend
+    ):
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        cache.put("TC", workload.key(), None)
+        assert cache.maybe_flush(3600.0) is False
+        cache.close()
+        reloaded = PersistentCache.for_estimator(
+            tmp_path, estimator, backend=backend
+        )
+        assert reloaded.get("TC", workload.key()) is None
+
+
+class TestJsonIncrementalEncoding:
+    """The JSON store caches encoded entry runs across flushes; the
+    assembled file must stay byte-identical to a canonical
+    ``json.dumps`` of its payload through appends and overwrites."""
+
+    def _assert_canonical(self, cache):
+        text = cache.path.read_text()
+        assert text == json.dumps(json.loads(text))
+
+    def test_file_stays_canonical_across_flushes(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        cache.put("HighLight", workload.key(), metrics)
+        cache.flush()
+        self._assert_canonical(cache)
+        cache.put("TC", workload.key(), None)
+        cache.flush()
+        self._assert_canonical(cache)
+        # Overwrite an entry from the first flush's encoded run.
+        cache.put("HighLight", workload.key(), None)
+        cache.flush()
+        self._assert_canonical(cache)
+        reloaded = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        assert reloaded.get("HighLight", workload.key()) is None
+        assert reloaded.get("TC", workload.key()) is None
+
+    def test_foreign_writes_merge_canonically(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        ours = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        theirs = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        ours.put("HighLight", workload.key(), metrics)
+        ours.flush()
+        theirs.put("TC", workload.key(), None)
+        theirs.flush()
+        ours.put("S2TA", workload.key(), None)
+        ours.flush()
+        self._assert_canonical(ours)
+        reloaded = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        assert len(reloaded) == 3

@@ -142,7 +142,7 @@ class TestParallelism:
             designs=("TC", "HighLight"),
             a_degrees=(0.0, 0.5), b_degrees=(0.0,), **small,
         )
-        engine = SweepEngine(jobs=2, backend="process")
+        engine = SweepEngine(jobs=2, backend="process", use_batch=False)
         try:
             procs = engine.sweep(
                 designs=("TC", "HighLight"),
@@ -160,7 +160,9 @@ class TestParallelism:
     def test_process_pool_reused_across_batches(self):
         # Each sweep is one batch with >1 unique pair (STC/DSTC realize
         # several orientations), so both go through the pool.
-        engine = SweepEngine(jobs=2, backend="process")
+        # use_batch=False: pools serve the scalar path; the batch path
+        # would evaluate these misses without ever touching a pool.
+        engine = SweepEngine(jobs=2, backend="process", use_batch=False)
         try:
             engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
                          b_degrees=(0.0,), m=64, k=64, n=64)
@@ -177,7 +179,7 @@ class TestParallelism:
         """The thread backend keeps one executor alive across batches
         (mirroring the cached process pool) instead of paying pool
         construction per ``_run_batch``."""
-        engine = SweepEngine(jobs=2, backend="thread")
+        engine = SweepEngine(jobs=2, backend="thread", use_batch=False)
         try:
             engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
                          b_degrees=(0.0,), m=64, k=64, n=64)
@@ -191,7 +193,7 @@ class TestParallelism:
         assert engine._thread_pool is None
 
     def test_thread_pool_rebuilt_when_jobs_change(self):
-        engine = SweepEngine(jobs=2, backend="thread")
+        engine = SweepEngine(jobs=2, backend="thread", use_batch=False)
         try:
             engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
                          b_degrees=(0.0,), m=64, k=64, n=64)
@@ -315,7 +317,12 @@ class TestClose:
         failure path flushes before propagating)."""
         estimator = Estimator()
         cache = PersistentCache.for_estimator(tmp_path, estimator)
-        engine = SweepEngine(estimator, jobs=jobs, cache=cache)
+        # use_batch=False: the interrupt is injected through the scalar
+        # _evaluate_pair hook, and per-*pair* durability is the scalar
+        # path's guarantee (the batch path records per design group).
+        engine = SweepEngine(
+            estimator, jobs=jobs, cache=cache, use_batch=False
+        )
         workloads = [
             synthetic_workload(0.5, degree, size=128)
             for degree in (0.0, 0.25, 0.5, 0.75)
@@ -361,7 +368,10 @@ class TestClose:
         worker pools lingering, and the original error propagates."""
         estimator = Estimator()
         cache = PersistentCache.for_estimator(tmp_path, estimator)
-        engine = SweepEngine(estimator, jobs=2, cache=cache)
+        # use_batch=False so the sweep actually spins up a thread pool.
+        engine = SweepEngine(
+            estimator, jobs=2, cache=cache, use_batch=False
+        )
         engine.sweep(designs=("STC",), a_degrees=(0.0, 0.5),
                      b_degrees=(0.0,), m=64, k=64, n=64)
         assert engine._thread_pool is not None

@@ -24,6 +24,17 @@ class TestAccumulation:
         with pytest.raises(ModelError):
             ActivityCounts().add("macs", "mac", -1)
 
+    @pytest.mark.parametrize(
+        "count",
+        (float("nan"), float("inf"), float("-inf")),
+        ids=("nan", "inf", "-inf"),
+    )
+    def test_non_finite_rejected(self, count):
+        """NaN passes every ordering comparison, so without an explicit
+        guard it would flow into cached Metrics undetected."""
+        with pytest.raises(ModelError, match="non-finite count"):
+            ActivityCounts().add("macs", "mac", count)
+
     def test_total_across_actions(self):
         counts = ActivityCounts()
         counts.add("glb_data", "read", 3)

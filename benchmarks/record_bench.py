@@ -6,21 +6,35 @@ accountable for:
 * the Fig. 15-style deit_small network sweep (`bench_network_sweep.py`
   shape) — cold through the scalar reference path, cold through the
   batch path, and warm from a populated persistent cache;
-* the Fig. 13 synthetic grid (`bench_fig13.py` shape), cold, both
-  paths;
+* the Fig. 13 synthetic grid (`bench_fig13.py` shape) — cold, both
+  paths, plus a warm run from a populated cache;
 * cold ``repro all --jobs 1`` end to end, both paths, plus a warm run.
 
+Every measurement reports the *min* across rounds (scheduling noise
+only ever adds time; the ``*_ms`` keys are mins and are the tracked
+baselines) and the *mean* (``*_mean_ms``, a dispersion hint: a mean
+far above its min means the rounds were noisy and the record is worth
+re-taking).
+
 Writes a JSON record (default ``BENCH_sweep.json`` at the repo root;
-CI uploads it as an artifact and fails the smoke job if the cold batch
-path is slower than the scalar path). Run from the repo root::
+CI uploads it as an artifact, fails the smoke job if the cold batch
+path is slower than the scalar path, and gates with ``--compare``
+against the committed baseline). Run from the repo root::
 
     PYTHONPATH=src python benchmarks/record_bench.py
+
+``--compare BASELINE`` fails (exit 1) if any cold-batch or warm
+measurement regressed more than ``--tolerance`` (default 0.25 = 25%)
+over the baseline record's value. ``--profile OUT`` additionally
+writes a cProfile dump of one cold ``repro all --jobs 1`` run — open
+it with ``python -m pstats OUT``.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import cProfile
 import io
 import json
 import platform
@@ -37,6 +51,12 @@ from repro.energy import Estimator
 from repro.eval import experiments as E
 from repro.eval.cache import PersistentCache
 from repro.eval.engine import SweepEngine
+
+#: The (section key, measurement key) pairs ``--compare`` gates on:
+#: the batch-path cold times and the warm (cache-served) times. Cold
+#: *scalar* times are recorded for the speedup ratio but not gated —
+#: the scalar reference path is the fixed yardstick, not the product.
+GATED_MEASUREMENTS = ("cold_batch_ms", "warm_ms")
 
 
 @contextlib.contextmanager
@@ -56,35 +76,50 @@ def scalar_only():
         SweepEngine.__init__ = original
 
 
-def _best_ms(fn, rounds: int) -> float:
-    """Min wall time over ``rounds`` calls, in milliseconds (min, not
-    mean: scheduling noise only ever adds time)."""
-    best = float("inf")
+def _measure_ms(fn, rounds: int):
+    """(min, mean) wall time over ``rounds`` calls, in milliseconds.
+
+    The min is the tracked number (noise only ever adds time); the
+    mean rides along so a record taken on a noisy box is recognizable
+    as such.
+    """
+    times = []
     for _ in range(rounds):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best * 1000.0
+        times.append(time.perf_counter() - start)
+    return min(times) * 1000.0, sum(times) / len(times) * 1000.0
 
 
-def _network_sweep(cache_dir: Path) -> None:
+def _engine_with_cache(cache_dir: Path) -> SweepEngine:
     estimator = Estimator()
     engine = SweepEngine(estimator)
     engine.attach_cache(
         PersistentCache.for_estimator(cache_dir, estimator)
     )
+    return engine
+
+
+def _network_sweep(cache_dir: Path) -> None:
+    engine = _engine_with_cache(cache_dir)
     E.sweep_model(
         deit_small(), designs=tuple(E.DESIGN_LADDERS), ctx=engine
     )
     engine.close()
 
 
-def _cold(fn, cache_dir: Path, rounds: int) -> float:
+def _fig13(cache_dir: Path) -> None:
+    engine = _engine_with_cache(cache_dir)
+    E.fig13(engine)
+    engine.close()
+
+
+def _cold(fn, cache_dir: Path, rounds: int):
     def run():
         shutil.rmtree(cache_dir, ignore_errors=True)
         fn()
 
-    return _best_ms(run, rounds)
+    return _measure_ms(run, rounds)
 
 
 def _repro_all(cache_dir: Path) -> None:
@@ -100,52 +135,91 @@ def _repro_all(cache_dir: Path) -> None:
 def record(rounds: int) -> dict:
     scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
     sweep_dir = scratch / "sweep-cache"
+    fig13_dir = scratch / "fig13-cache"
     all_dir = scratch / "all-cache"
     try:
         sweep = lambda: _network_sweep(sweep_dir)  # noqa: E731
+        fig13 = lambda: _fig13(fig13_dir)  # noqa: E731
         repro_all = lambda: _repro_all(all_dir)  # noqa: E731
 
         with scalar_only():
             sweep_scalar = _cold(sweep, sweep_dir, rounds)
-            fig13_scalar = _best_ms(
-                lambda: E.fig13(SweepEngine(Estimator())), rounds
-            )
+            fig13_scalar = _cold(fig13, fig13_dir, rounds)
             all_scalar = _cold(repro_all, all_dir, rounds)
         sweep_batch = _cold(sweep, sweep_dir, rounds)
-        sweep_warm = _best_ms(sweep, rounds)  # cache left populated
-        fig13_batch = _best_ms(
-            lambda: E.fig13(SweepEngine(Estimator())), rounds
-        )
+        sweep_warm = _measure_ms(sweep, rounds)  # cache left populated
+        fig13_batch = _cold(fig13, fig13_dir, rounds)
+        fig13_warm = _measure_ms(fig13, rounds)
         all_batch = _cold(repro_all, all_dir, rounds)
-        all_warm = _best_ms(repro_all, rounds)
+        all_warm = _measure_ms(repro_all, rounds)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 
-    def section(scalar_ms, batch_ms, **extra):
-        return {
+    def section(scalar, batch, warm=None):
+        scalar_ms, scalar_mean = scalar
+        batch_ms, batch_mean = batch
+        record = {
             "cold_scalar_ms": round(scalar_ms, 3),
+            "cold_scalar_mean_ms": round(scalar_mean, 3),
             "cold_batch_ms": round(batch_ms, 3),
+            "cold_batch_mean_ms": round(batch_mean, 3),
             "cold_speedup": round(scalar_ms / batch_ms, 2),
-            **extra,
         }
+        if warm is not None:
+            warm_ms, warm_mean = warm
+            record["warm_ms"] = round(warm_ms, 3)
+            record["warm_mean_ms"] = round(warm_mean, 3)
+        return record
 
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "recorded_at": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         ),
         "python": platform.python_version(),
         "rounds": rounds,
         "network_sweep_deit_small": section(
-            sweep_scalar, sweep_batch,
-            warm_ms=round(sweep_warm, 3),
+            sweep_scalar, sweep_batch, sweep_warm
         ),
-        "fig13_grid": section(fig13_scalar, fig13_batch),
-        "repro_all_jobs1": section(
-            all_scalar, all_batch,
-            warm_ms=round(all_warm, 3),
-        ),
+        "fig13_grid": section(fig13_scalar, fig13_batch, fig13_warm),
+        "repro_all_jobs1": section(all_scalar, all_batch, all_warm),
     }
+
+
+def profile_cold_all(out: Path) -> None:
+    """cProfile one cold ``repro all --jobs 1`` into ``out``."""
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-prof-"))
+    try:
+        _repro_all(scratch / "cache")  # warm imports outside the profile
+        shutil.rmtree(scratch / "cache", ignore_errors=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _repro_all(scratch / "cache")
+        profiler.disable()
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    profiler.dump_stats(str(out))
+
+
+def compare(payload: dict, baseline: dict, tolerance: float):
+    """Regressions of the gated measurements beyond ``tolerance``,
+    as (path, old_ms, new_ms) rows. Sections or keys absent from the
+    baseline are skipped, so a schema-1 baseline still gates what it
+    recorded."""
+    regressions = []
+    for section, record in payload.items():
+        if not isinstance(record, dict):
+            continue
+        base = baseline.get(section)
+        if not isinstance(base, dict):
+            continue
+        for key in GATED_MEASUREMENTS:
+            if key not in record or key not in base:
+                continue
+            old, new = base[key], record[key]
+            if new > old * (1.0 + tolerance):
+                regressions.append((f"{section}.{key}", old, new))
+    return regressions
 
 
 def main(argv=None) -> int:
@@ -156,18 +230,37 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--rounds", type=int, default=5,
-        help="timing rounds per measurement; min is kept "
-        "(default: %(default)s)",
+        help="timing rounds per measurement; the min is the tracked "
+        "number, the mean is recorded alongside (default: %(default)s)",
     )
     parser.add_argument(
         "--check", action="store_true",
         help="exit non-zero if the cold batch path is slower than the "
         "cold scalar path on the end-to-end run (CI smoke gate)",
     )
+    parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help="exit non-zero if a cold-batch or warm measurement "
+        "regressed more than --tolerance over this baseline record",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression for --compare "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--profile", metavar="OUT",
+        help="also write a cProfile dump of one cold "
+        "'repro all --jobs 1' run to OUT",
+    )
     args = parser.parse_args(argv)
     payload = record(args.rounds)
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
+    if args.profile:
+        profile_cold_all(Path(args.profile))
+        print(f"profile written to {args.profile}")
+    status = 0
     if args.check:
         gate = payload["repro_all_jobs1"]
         if gate["cold_batch_ms"] > gate["cold_scalar_ms"]:
@@ -177,12 +270,29 @@ def main(argv=None) -> int:
                 f"{gate['cold_scalar_ms']}ms)",
                 file=sys.stderr,
             )
-            return 1
-        print(
-            "OK: cold batch path is at least as fast as scalar "
-            f"({gate['cold_speedup']}x on repro all --jobs 1)"
-        )
-    return 0
+            status = 1
+        else:
+            print(
+                "OK: cold batch path is at least as fast as scalar "
+                f"({gate['cold_speedup']}x on repro all --jobs 1)"
+            )
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        regressions = compare(payload, baseline, args.tolerance)
+        if regressions:
+            for path, old, new in regressions:
+                print(
+                    f"FAIL: {path} regressed {old}ms -> {new}ms "
+                    f"(> {args.tolerance:.0%} over baseline)",
+                    file=sys.stderr,
+                )
+            status = 1
+        else:
+            print(
+                f"OK: no gated measurement regressed more than "
+                f"{args.tolerance:.0%} over {args.compare}"
+            )
+    return status
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.arch.designs import DesignResources
 from repro.energy.estimator import Estimator
@@ -66,6 +66,9 @@ def evaluate_workloads_batch(
     design: AcceleratorDesign,
     workloads: Sequence[MatmulWorkload],
     estimator: Estimator,
+    batch_source: Optional[
+        Callable[[List[MatmulWorkload]], WorkloadBatch]
+    ] = None,
 ) -> List[Optional[Metrics]]:
     """Batch counterpart of the engine's per-pair evaluation unit:
     Metrics per workload as given, ``None`` where unsupported.
@@ -73,7 +76,12 @@ def evaluate_workloads_batch(
     Unsupported workloads are filtered out before stacking (exactly the
     scalar :func:`~repro.eval.harness.evaluate_workload` rule) and the
     supported remainder is costed in one :meth:`~AcceleratorDesign
-    .evaluate_batch` call.
+    .evaluate_batch` call. ``batch_source`` overrides how the supported
+    workloads are stacked — the engine's shared-batch planner passes
+    :meth:`~repro.model.batch.SharedWorkloadStack.batch_for` so design
+    groups of one miss set slice one shared stack instead of each
+    rebuilding its own (the views are value-identical to a fresh
+    stack, so results stay bit-identical).
     """
     results: List[Optional[Metrics]] = [None] * len(workloads)
     supported = [
@@ -82,8 +90,11 @@ def evaluate_workloads_batch(
     ]
     if not supported:
         return results
-    batch = WorkloadBatch.from_workloads(
-        [workloads[i] for i in supported]
+    picked = [workloads[i] for i in supported]
+    batch = (
+        WorkloadBatch.from_workloads(picked)
+        if batch_source is None
+        else batch_source(picked)
     )
     for i, metrics in zip(
         supported, design.evaluate_batch(batch, estimator)

@@ -652,18 +652,24 @@ def _cmd_cache(args: argparse.Namespace,
             summary = cache_mod.migrate_cache_dir(directory)
         except CacheError as error:
             parser.error(str(error))
-        if not summary["files"]:
-            print(f"no JSON cache files to migrate in {directory}")
+        if not summary["files"] and not summary["reencoded_rows"]:
+            print(f"no cache files to migrate in {directory}")
             return 0
         for item in summary["files"]:
             print(
                 f"migrated {item['fingerprint']}.json -> "
                 f"{item['path']} ({item['entries']} entries)"
             )
-        print(
-            f"migrated {len(summary['files'])} file(s), "
-            f"{summary['total_entries']} entries"
-        )
+        if summary["files"]:
+            print(
+                f"migrated {len(summary['files'])} file(s), "
+                f"{summary['total_entries']} entries"
+            )
+        if summary["reencoded_rows"]:
+            print(
+                f"re-encoded {summary['reencoded_rows']} v1 row(s) "
+                f"as codec v2"
+            )
         return 0
     if args.action == "clear":
         removed = cache_mod.clear_cache(directory)
@@ -753,11 +759,26 @@ def _cmd_report(args: argparse.Namespace,
         return 0
 
 
+#: Parser built once per process: every choice list in
+#: :func:`build_parser` is a module-level constant and argparse parsers
+#: are reusable across ``parse_args`` calls, so rebuilding the ~40
+#: argument declarations on each in-process ``main()`` call (tests,
+#: benchmarks, notebook loops) is pure overhead.
+_PARSER: Optional[argparse.ArgumentParser] = None
+
+
+def _shared_parser() -> argparse.ArgumentParser:
+    global _PARSER
+    if _PARSER is None:
+        _PARSER = build_parser()
+    return _PARSER
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and (argv[0] in ARTIFACTS or argv[0] == "all"):
         argv = ["artifact"] + argv
-    parser = build_parser()
+    parser = _shared_parser()
     args = parser.parse_args(argv)
     if args.command == "artifact":
         return _cmd_artifact(args, parser)

@@ -66,6 +66,12 @@ class Estimator:
         self._energy_by_identity: Dict[
             Tuple[int, str], Tuple[Component, float]
         ] = {}
+        # Priced event-schema vectors for the batch path, keyed by
+        # architecture identity + event tuple (see energy_vector_for).
+        self._vector_cache: Dict[
+            Tuple[int, Tuple[Tuple[str, str], ...]],
+            Tuple[ArchitectureSpec, np.ndarray],
+        ] = {}
 
     @staticmethod
     def _key(component: Component) -> Tuple:
@@ -129,6 +135,36 @@ class Estimator:
             ],
             dtype=np.float64,
         )
+
+    def energy_vector_for(
+        self,
+        arch: ArchitectureSpec,
+        events: Tuple[Tuple[str, str], ...],
+    ) -> np.ndarray:
+        """The priced vector of an architecture's (component name,
+        action) event schema, memoized by arch identity + event tuple.
+
+        A design's batch evaluations emit the same few event schemas
+        over and over (one per metadata/compression variant), so the
+        component lookups and per-event pricing calls collapse to one
+        dict hit per batch. Values come from the same ``energy_pj``
+        cache as the scalar path, so batch pricing cannot drift from
+        scalar pricing; the memo pins the arch so its id stays valid,
+        and the vector is marked read-only because it is shared.
+        """
+        key = (id(arch), events)
+        hit = self._vector_cache.get(key)
+        if hit is not None and hit[0] is arch:
+            return hit[1]
+        vector = self.energy_vector(
+            [
+                (arch.component(component), action)
+                for component, action in events
+            ]
+        )
+        vector.setflags(write=False)
+        self._vector_cache[key] = (arch, vector)
+        return vector
 
     def area_um2(self, component: Component) -> float:
         """Total area of the component group (per-instance area x count)."""

@@ -45,9 +45,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.energy.estimator import Estimator
 from repro.errors import CacheError
+from repro.eval import codec
 from repro.model.metrics import Metrics
 from repro.model.workload import WorkloadKey
-from repro.serialization import metrics_from_dict, metrics_to_dict
 
 #: Bumped whenever the analytical cost models change in a way that
 #: invalidates previously cached metrics.
@@ -55,6 +55,14 @@ MODEL_FINGERPRINT_VERSION = 1
 
 #: Cache file schema version (shared by both storage backends).
 CACHE_SCHEMA_VERSION = 1
+
+#: JSON-store file schema whose entry section is one columnar block
+#: (digest column, length column, one base64 blob of concatenated v2
+#: codec blobs) instead of a per-digest entries dict. Writers emit
+#: this form; schema-1 files (v1 tagged dicts and/or per-entry base64
+#: strings) remain readable on every path. The SQLite store stays at
+#: :data:`CACHE_SCHEMA_VERSION` — its rows are already columnar.
+COLUMNS_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -161,24 +169,15 @@ def pair_digest(design: str, workload_key: WorkloadKey) -> str:
 # --- storage backends ---------------------------------------------------
 
 
-def _entry_to_raw(metrics: Optional[Metrics]) -> Optional[Dict[str, Any]]:
-    return None if metrics is None else metrics_to_dict(metrics)
+def _entry_from_raw(
+    raw: "str | Dict[str, Any] | None"
+) -> Optional[Metrics]:
+    return codec.decode_json_entry(raw)
 
 
-def _entry_from_raw(raw: Optional[Dict[str, Any]]) -> Optional[Metrics]:
-    return None if raw is None else metrics_from_dict(raw)
-
-
-def _encode_entry_run(
-    entries: Dict[str, Optional[Metrics]]
-) -> str:
-    """``json.dumps`` of a non-empty digest -> entry run, minus the
-    outer braces — the cacheable building block of the JSON store's
-    file body (one C-encoder pass over the whole run instead of one
-    ``dumps`` call per entry)."""
-    return json.dumps(
-        {digest: _entry_to_raw(metrics) for digest, metrics in entries.items()}
-    )[1:-1]
+#: Absent-marker for the JSON store's encoded-blob memo (a memoized
+#: value may legitimately be ``None`` — a cached unsupported verdict).
+_UNENCODED = object()
 
 
 class CacheStore:
@@ -229,7 +228,14 @@ class CacheStore:
 
 class JsonCacheStore(CacheStore):
     """One JSON file per fingerprint; flush is a read-merge-write of
-    the whole file behind an atomic rename (O(total entries))."""
+    the whole file behind an atomic rename (O(total entries)).
+
+    Files are written in the columnar form (schema
+    :data:`COLUMNS_SCHEMA_VERSION`): one digest column, one length
+    column, one base64 blob of every entry's v2 codec blob
+    concatenated. Schema-1 files — per-digest entry dicts holding v1
+    tagged dicts and/or per-entry base64 strings — load transparently.
+    """
 
     backend = "json"
     suffix = ".json"
@@ -240,15 +246,13 @@ class JsonCacheStore(CacheStore):
         #: this store — lets flush skip the read-merge step when no
         #: other writer has touched the file in between.
         self._disk_state: Optional[Tuple[int, int]] = None
-        #: Encoded runs of entries, in file order: (digests, fragment)
-        #: where ``fragment`` is ``json.dumps`` of those entries as a
-        #: dict, minus the outer braces. Rewriting the whole file is
-        #: inherent to the format, but *re-encoding* every Metrics per
-        #: flush is not: each flush encodes only its new entries (one
-        #: C-encoder pass, not one ``dumps`` per entry) and joins the
-        #: prior runs as cached strings. A chunk is re-encoded only
-        #: when one of its entries is overwritten.
-        self._chunks: List[Tuple[Tuple[str, ...], str]] = []
+        #: digest -> encoded v2 blob (or ``None`` for cached
+        #: unsupported verdicts). Rewriting the whole file is inherent
+        #: to the format, but *re-encoding* every Metrics per flush is
+        #: not: each flush encodes only digests not yet in the memo
+        #: (dirty digests are evicted first, so an overwritten entry
+        #: never reuses a stale encoding).
+        self._encoded: Dict[str, Optional[bytes]] = {}
 
     def _stat(self) -> Optional[Tuple[int, int]]:
         try:
@@ -264,7 +268,16 @@ class JsonCacheStore(CacheStore):
         than an exception (the cache is a best-effort accelerator)."""
         try:
             data = json.loads(path.read_text())
-            if data.get("schema_version") != CACHE_SCHEMA_VERSION:
+            version = data.get("schema_version")
+            if version == COLUMNS_SCHEMA_VERSION:
+                return {
+                    digest: None if blob is None
+                    else codec.decode_blob(blob)
+                    for digest, blob in codec.raw_from_columns(
+                        data.get("columns") or {}
+                    ).items()
+                }
+            if version != CACHE_SCHEMA_VERSION:
                 return {}
             return {
                 digest: _entry_from_raw(entry)
@@ -287,49 +300,31 @@ class JsonCacheStore(CacheStore):
         self.directory.mkdir(parents=True, exist_ok=True)
         merged = dict(entries)
         if self._stat() != self._disk_state:
-            # Foreign writes landed: merge them under ours. Unknown
-            # digests are appended, so they join this flush's "new
-            # entries" chunk in merged-dict order.
+            # Foreign writes landed: merge them under ours (their
+            # digests join the columnar block in merged-dict order).
             for digest, entry in self._read_entries(self.path).items():
                 merged.setdefault(digest, entry)
-        dirty_set = set(dirty)
-        chunks: List[Tuple[Tuple[str, ...], str]] = []
-        covered: set = set()
-        for digests, fragment in self._chunks:
-            if not dirty_set.isdisjoint(digests):
-                # Overwritten entries must not reuse a stale encoding;
-                # re-encode the whole run in place to keep file order
-                # (entries are never removed, so every digest is in
-                # ``merged``).
-                fragment = _encode_entry_run(
-                    {d: merged[d] for d in digests}
+        encoded = self._encoded
+        for digest in dirty:
+            # Overwritten entries must not reuse a stale encoding.
+            encoded.pop(digest, None)
+        raw: Dict[str, Optional[bytes]] = {}
+        for digest, metrics in merged.items():
+            blob = encoded.get(digest, _UNENCODED)
+            if blob is _UNENCODED:
+                blob = encoded[digest] = (
+                    None if metrics is None
+                    else codec.encode_metrics(metrics)
                 )
-            chunks.append((digests, fragment))
-            covered.update(digests)
-        fresh = tuple(d for d in merged if d not in covered)
-        if fresh:
-            chunks.append(
-                (fresh, _encode_entry_run({d: merged[d] for d in fresh}))
-            )
-        self._chunks = chunks
-        # Assembled by hand from the cached fragments, but the bytes
-        # are exactly json.dumps of the payload dict (digests are hex,
-        # so they need no escaping; separators match the defaults, and
-        # appends only ever land at the end of the merged dict, so the
-        # chunk concatenation is the dict's iteration order).
-        head = json.dumps(
+            raw[digest] = blob
+        _atomic_write_json(
+            self.path,
             {
-                "schema_version": CACHE_SCHEMA_VERSION,
+                "schema_version": COLUMNS_SCHEMA_VERSION,
                 "fingerprint": self.fingerprint,
-            }
+                "columns": codec.columns_from_raw(raw),
+            },
         )
-        text = (
-            head[:-1]
-            + ', "entries": {'
-            + ", ".join(fragment for _, fragment in chunks)
-            + "}}"
-        )
-        _atomic_write_text(self.path, text)
         self._disk_state = self._stat()
         return merged
 
@@ -357,7 +352,13 @@ def _sqlite_connect_rw(path: Path, fingerprint: str) -> sqlite3.Connection:
     conn = sqlite3.connect(path, timeout=30.0, check_same_thread=False)
     try:
         conn.execute("PRAGMA journal_mode=WAL")
-        conn.execute("PRAGMA synchronous=NORMAL")
+        # synchronous=OFF: an OS crash mid-commit may corrupt the file,
+        # but this cache is a reconstructible accelerator — a corrupt
+        # database reads as empty and the next flush rotates + rebuilds
+        # it — and skipping the fsyncs roughly halves flush latency on
+        # the sweep hot path (a plain process crash loses nothing:
+        # committed data is in the OS page cache/WAL either way).
+        conn.execute("PRAGMA synchronous=OFF")
         for statement in _SQLITE_SCHEMA:
             conn.execute(statement)
         conn.executemany(
@@ -432,12 +433,11 @@ class SqliteCacheStore(CacheStore):
                     CACHE_SCHEMA_VERSION
                 ):
                     db_usable = True
-                    for digest, text in conn.execute(
+                    for digest, value in conn.execute(
                         "SELECT digest, metrics FROM entries"
                     ):
-                        entries[digest] = (
-                            None if text is None
-                            else metrics_from_dict(json.loads(text))
+                        entries[digest] = codec.decode_sqlite_value(
+                            value
                         )
             except sqlite3.OperationalError:
                 # Transient (locked, I/O): read as empty this run but
@@ -497,15 +497,12 @@ class SqliteCacheStore(CacheStore):
             for start in range(0, len(digests), 500):
                 chunk = digests[start:start + 500]
                 placeholders = ",".join("?" * len(chunk))
-                for digest, text in conn.execute(
+                for digest, value in conn.execute(
                     f"SELECT digest, metrics FROM entries "
                     f"WHERE digest IN ({placeholders})",
                     chunk,
                 ):
-                    found[digest] = (
-                        None if text is None
-                        else metrics_from_dict(json.loads(text))
-                    )
+                    found[digest] = codec.decode_sqlite_value(value)
         except Exception:
             return {}
         return found
@@ -524,7 +521,7 @@ class SqliteCacheStore(CacheStore):
                 (
                     digest,
                     None if metrics is None
-                    else json.dumps(metrics_to_dict(metrics)),
+                    else codec.encode_metrics(metrics),
                 )
                 for digest, metrics in dirty.items()
             ],
@@ -845,6 +842,9 @@ def _count_entries(path: Path) -> int:
             return 0
     try:
         data = json.loads(path.read_text())
+        columns = data.get("columns")
+        if columns is not None:
+            return len(columns.get("lengths", ()))
         return len(data.get("entries", {}))
     except (OSError, json.JSONDecodeError):
         return 0
@@ -908,11 +908,15 @@ def clear_cache(directory: "str | Path") -> int:
     return len(files)
 
 
-def _read_raw_entries(path: Path) -> Dict[str, Optional[Dict[str, Any]]]:
-    """One cache file's raw entries — loud, unlike the best-effort
-    runtime reads: merging/migrating should never silently drop a
-    shard. The fingerprint field is *required* and must match the file
-    name; a file missing it is refused rather than waved through.
+def _read_raw_entries(path: Path) -> Dict[str, Optional[bytes]]:
+    """One cache file's entries in canonical raw form (v2 codec blobs,
+    ``None`` for cached unsupported verdicts) — loud, unlike the
+    best-effort runtime reads: merging/migrating should never silently
+    drop a shard, and v1 entries are re-encoded *through* the metrics
+    deserializer so malformed legacy content fails here rather than
+    being copied forward. The fingerprint field is *required* and must
+    match the file name; a file missing it is refused rather than
+    waved through.
     """
     if path.suffix == ".db":
         try:
@@ -936,21 +940,31 @@ def _read_raw_entries(path: Path) -> Dict[str, Optional[Dict[str, Any]]]:
             )
         _require_fingerprint(path, meta.get("fingerprint"))
         return {
-            digest: (None if text is None else json.loads(text))
-            for digest, text in rows
+            digest: codec.raw_from_sqlite_value(value)
+            for digest, value in rows
         }
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise CacheError(f"cannot read cache file {path}: {error}")
-    if data.get("schema_version") != CACHE_SCHEMA_VERSION:
+    version = data.get("schema_version")
+    if version == COLUMNS_SCHEMA_VERSION:
+        _require_fingerprint(path, data.get("fingerprint"))
+        try:
+            return codec.raw_from_columns(data.get("columns") or {})
+        except CacheError as error:
+            raise CacheError(f"cannot read cache file {path}: {error}")
+    if version != CACHE_SCHEMA_VERSION:
         raise CacheError(
-            f"{path} has cache schema "
-            f"{data.get('schema_version')!r}; this version reads "
-            f"schema {CACHE_SCHEMA_VERSION}"
+            f"{path} has cache schema {version!r}; this version reads "
+            f"schemas {CACHE_SCHEMA_VERSION} and "
+            f"{COLUMNS_SCHEMA_VERSION}"
         )
     _require_fingerprint(path, data.get("fingerprint"))
-    return data.get("entries", {})
+    return {
+        digest: codec.raw_from_json_entry(entry)
+        for digest, entry in data.get("entries", {}).items()
+    }
 
 
 def _require_fingerprint(path: Path, fingerprint: Any) -> None:
@@ -991,14 +1005,14 @@ def _atomic_write_text(path: Path, text: str) -> None:
 def _write_raw_json(
     path: Path,
     fingerprint: str,
-    entries: Dict[str, Optional[Dict[str, Any]]],
+    entries: Dict[str, Optional[bytes]],
 ) -> None:
     _atomic_write_json(
         path,
         {
-            "schema_version": CACHE_SCHEMA_VERSION,
+            "schema_version": COLUMNS_SCHEMA_VERSION,
             "fingerprint": fingerprint,
-            "entries": entries,
+            "columns": codec.columns_from_raw(entries),
         },
     )
 
@@ -1006,7 +1020,7 @@ def _write_raw_json(
 def _write_raw_sqlite(
     path: Path,
     fingerprint: str,
-    entries: Dict[str, Optional[Dict[str, Any]]],
+    entries: Dict[str, Optional[bytes]],
     replace: bool = True,
 ) -> None:
     conn = _sqlite_connect_rw(path, fingerprint)
@@ -1015,10 +1029,7 @@ def _write_raw_sqlite(
         conn.executemany(
             f"INSERT OR {verb} INTO entries (digest, metrics) "
             f"VALUES (?, ?)",
-            [
-                (digest, None if raw is None else json.dumps(raw))
-                for digest, raw in entries.items()
-            ],
+            list(entries.items()),
         )
         conn.commit()
     finally:
@@ -1031,13 +1042,39 @@ def _ordered_by_format(files: "Tuple[Path, ...] | List[Path]") -> List[Path]:
     return sorted(files, key=lambda path: path.suffix == ".db")
 
 
+def _reencode_v1_rows(path: Path) -> int:
+    """Re-encode any v1 JSON TEXT rows of one database as v2 codec
+    blobs, in place; returns how many rows were upgraded. The rows were
+    already validated by a loud read, so this is a mechanical rewrite.
+    """
+    conn = _sqlite_connect_rw(path, path.stem)
+    try:
+        rows = conn.execute(
+            "SELECT digest, metrics FROM entries "
+            "WHERE typeof(metrics) = 'text'"
+        ).fetchall()
+        if rows:
+            conn.executemany(
+                "UPDATE entries SET metrics = ? WHERE digest = ?",
+                [
+                    (codec.blob_from_raw_dict(json.loads(text)), digest)
+                    for digest, text in rows
+                ],
+            )
+            conn.commit()
+    finally:
+        conn.close()
+    return len(rows)
+
+
 def migrate_cache_dir(directory: "str | Path") -> Dict[str, Any]:
-    """Convert every JSON cache file under ``directory`` to SQLite in
-    place (``repro cache migrate``).
+    """Bring every cache file under ``directory`` to the current
+    on-disk format in place (``repro cache migrate``).
 
     Each ``<fingerprint>.json`` is folded into ``<fingerprint>.db``
-    (existing database rows win — they are newer) and then deleted.
-    Reads are loud: a corrupt or misnamed shard raises
+    (existing database rows win — they are newer) and then deleted;
+    remaining databases then have any v1 JSON TEXT rows re-encoded as
+    v2 codec blobs. Reads are loud: a corrupt or misnamed shard raises
     :class:`~repro.errors.CacheError` before anything is deleted.
     Returns a summary dict (per-file entry counts, totals).
     """
@@ -1064,10 +1101,17 @@ def migrate_cache_dir(directory: "str | Path") -> Dict[str, Any]:
             }
         )
         total += len(entries)
+    reencoded = 0
+    for path in cache_files(root):
+        if path.suffix != ".db":
+            continue
+        _read_raw_entries(path)  # loud validation before rewriting
+        reencoded += _reencode_v1_rows(path)
     return {
         "directory": str(root),
         "files": migrated,
         "total_entries": total,
+        "reencoded_rows": reencoded,
     }
 
 
@@ -1120,10 +1164,10 @@ def merge_cache_dirs(
             f"same estimator, one fingerprint per directory"
         )
     fingerprint = fingerprints.pop()
-    merged: Dict[str, Optional[Dict[str, Any]]] = {}
+    merged: Dict[str, Optional[bytes]] = {}
     source_counts: Dict[str, int] = {}
     for source, files in per_dir.items():
-        dir_entries: Dict[str, Optional[Dict[str, Any]]] = {}
+        dir_entries: Dict[str, Optional[bytes]] = {}
         for path in _ordered_by_format(files):
             dir_entries.update(_read_raw_entries(path))
         source_counts[source] = len(dir_entries)
@@ -1131,7 +1175,7 @@ def merge_cache_dirs(
     dest_dir = Path(dest)
     dest_json = dest_dir / f"{fingerprint}.json"
     dest_db = dest_dir / f"{fingerprint}.db"
-    existing_entries: Dict[str, Optional[Dict[str, Any]]] = {}
+    existing_entries: Dict[str, Optional[bytes]] = {}
     for path in _ordered_by_format(
         [p for p in (dest_json, dest_db) if p.is_file()]
     ):

@@ -42,6 +42,7 @@ from repro.eval.harness import (
     evaluate_workload,
     realize_workloads,
 )
+from repro.model.batch import SharedWorkloadStack
 from repro.model.metrics import Metrics
 from repro.model.workload import MatmulWorkload, WorkloadKey
 from repro.utils import geomean
@@ -298,6 +299,22 @@ def _evaluate_pair_in_worker(pair: Pair) -> Optional[Metrics]:
     )
 
 
+def _evaluate_group_in_worker(
+    item: "Tuple[str, List[MatmulWorkload]]",
+) -> List[Optional[Metrics]]:
+    """One batch-path chunk in a process worker: the worker stacks its
+    own WorkloadBatch (cheaper than shipping shared numpy state across
+    the pickle boundary) — the batch path is bit-identical to scalar
+    regardless of where or how the stack was built."""
+    design_name, workloads = item
+    designs: Dict[str, AcceleratorDesign] = _WORKER_STATE["designs"]
+    if design_name not in designs:
+        designs[design_name] = REGISTRY.create(design_name)
+    return evaluate_workloads_batch(
+        designs[design_name], workloads, _WORKER_STATE["estimator"]
+    )
+
+
 class SweepEngine:
     """Memoizing, optionally parallel executor for (design, workload)
     pairs.
@@ -349,6 +366,13 @@ class SweepEngine:
         #: flushes (``close()`` and the failure path always flush).
         #: 0 restores the old flush-every-batch behavior.
         self.flush_interval = 5.0
+        #: Upper bound on rows per batch-path completion chunk. Large
+        #: design groups are split so (a) an interrupt mid-grid loses
+        #: at most this many evaluations of in-progress work (each
+        #: completed chunk is recorded — and flush-eligible — before
+        #: the next), matching the scalar path's durability story, and
+        #: (b) ``jobs > 1`` has units to parallelize over.
+        self.batch_chunk_rows = 256
         self.stats = EngineStats()
         self._cache: Dict[PairKey, Optional[Metrics]] = {}
         # A claimed-but-unfinished key maps to None until some
@@ -517,17 +541,20 @@ class SweepEngine:
         """Chunks of ``(key, metrics)`` results for every owned miss,
         yielded as they complete.
 
-        Misses on batch-capable designs are grouped per design and
+        Misses on batch-capable designs are grouped per design,
+        chunked to at most :attr:`batch_chunk_rows` rows, and
         evaluated through the vectorized ``evaluate_batch`` path (one
-        numpy pass instead of one Python model walk per pair); the
-        rest — non-batch designs, or everything when ``use_batch`` is
-        off — streams through the scalar worker path. Both paths
-        produce bit-identical Metrics, so the caller records results
-        the same way regardless of route. Each yielded chunk is the
-        unit of completion — a whole design group on the batch path
-        (the group is one numpy pass, so its results materialize
-        together), a single pair on the scalar path — which is also
-        the interrupt-durability granularity.
+        numpy pass instead of one Python model walk per pair) — in
+        parallel across chunks when ``jobs > 1``, over one shared
+        workload stack when the miss set spans several designs (see
+        :meth:`_run_batch_groups`). The rest — non-batch designs, or
+        everything when ``use_batch`` is off — streams through the
+        scalar worker path. Both paths produce bit-identical Metrics,
+        so the caller records results the same way regardless of
+        route. Each yielded chunk is the unit of completion — at most
+        ``batch_chunk_rows`` pairs on the batch path, a single pair on
+        the scalar path — which is also the interrupt-durability
+        granularity.
         """
         scalar: Dict[PairKey, Pair] = {}
         grouped: Dict[str, List[Tuple[PairKey, MatmulWorkload]]] = {}
@@ -547,20 +574,97 @@ class SweepEngine:
                     scalar[key] = (design_name, workload)
         else:
             scalar = dict(own)
-        for design_name, group in grouped.items():
-            results = evaluate_workloads_batch(
-                designs[design_name],
-                [workload for _, workload in group],
-                self.estimator,
-            )
-            yield [
-                (key, metrics)
-                for (key, _), metrics in zip(group, results)
-            ]
+        if grouped:
+            yield from self._run_batch_groups(grouped, designs)
         for key, metrics in zip(
             scalar, self._run_batch(list(scalar.values()))
         ):
             yield [(key, metrics)]
+
+    def _run_batch_groups(
+        self,
+        grouped: Dict[str, List[Tuple[PairKey, MatmulWorkload]]],
+        designs: Dict[str, AcceleratorDesign],
+    ):
+        """Batch-path chunks of ``(key, metrics)``, yielded in plan
+        order as they complete.
+
+        When the miss set spans more than one design group, the union
+        of their workloads is stacked *once* into a
+        :class:`~repro.model.batch.SharedWorkloadStack` (fully
+        materialized: dimension products, structure masks, operand
+        keys, descriptions) and each group evaluates against a sliced
+        view — the per-design restacking this replaces was the
+        cross-design headroom left by the original batch path. With
+        ``jobs > 1`` the chunks are dispatched to the worker pools
+        (``Executor.map`` streams results back in submission order, so
+        recording stays incremental); results are bit-identical to the
+        sequential and scalar paths either way.
+        """
+        chunk_rows = max(1, self.batch_chunk_rows)
+        chunks: List[Tuple[str, List[Tuple[PairKey, MatmulWorkload]]]] = []
+        for design_name, group in grouped.items():
+            for start in range(0, len(group), chunk_rows):
+                chunks.append(
+                    (design_name, group[start:start + chunk_rows])
+                )
+        # One stack even for a single design group: the stack layer
+        # memoizes materialized batches by workload identity, so a
+        # repeated miss set (benchmark rounds, re-sweeps against a
+        # fresh cache) reuses the arrays instead of restacking.
+        stack = SharedWorkloadStack(
+            workload
+            for group in grouped.values()
+            for _, workload in group
+        )
+        if self.jobs > 1 and len(chunks) > 1:
+            if self.backend == "process":
+                # Workers restack locally; shipping the shared numpy
+                # stack through pickle would cost more than it saves.
+                results = self._worker_pool().map(
+                    _evaluate_group_in_worker,
+                    [
+                        (name, [w for _, w in chunk])
+                        for name, chunk in chunks
+                    ],
+                )
+            else:
+                # The shared stack is safe to slice concurrently: it
+                # is fully materialized before dispatch and views only
+                # read it.
+                results = self._thread_worker_pool().map(
+                    lambda item: self._evaluate_batch_chunk(
+                        designs[item[0]], item[1], stack
+                    ),
+                    chunks,
+                )
+            for (_, chunk), metrics_list in zip(chunks, results):
+                yield [
+                    (key, metrics)
+                    for (key, _), metrics in zip(chunk, metrics_list)
+                ]
+            return
+        for design_name, chunk in chunks:
+            metrics_list = self._evaluate_batch_chunk(
+                designs[design_name], chunk, stack
+            )
+            yield [
+                (key, metrics)
+                for (key, _), metrics in zip(chunk, metrics_list)
+            ]
+
+    def _evaluate_batch_chunk(
+        self,
+        design: AcceleratorDesign,
+        chunk: List[Tuple[PairKey, MatmulWorkload]],
+        stack: Optional[SharedWorkloadStack],
+    ) -> List[Optional[Metrics]]:
+        return evaluate_workloads_batch(
+            design,
+            [workload for _, workload in chunk],
+            self.estimator,
+            batch_source=None if stack is None else stack.batch_for,
+        )
 
     def _wait_event(self, key: "PairKey") -> threading.Event:
         """The Event a caller must wait on for an in-flight key,

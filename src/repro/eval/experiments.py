@@ -47,7 +47,7 @@ from repro.eval.engine import (
     Pair,
     SweepResult,
 )
-from repro.eval.harness import best_metrics, workload_for_layer
+from repro.eval.harness import workload_for_layer
 from repro.eval.pareto import Point, is_on_frontier, pareto_frontier
 from repro.model.metrics import Metrics
 from repro.model.workload import (
@@ -325,9 +325,19 @@ def _assemble_model_evaluation(
     per_layer: Dict[str, Metrics] = {}
     total_energy = 0.0
     total_cycles = 0.0
-    flat = iter(results)
+    index = 0
     for layer, span in spans:
-        best = best_metrics([next(flat) for _ in range(span)])
+        # Inline best_metrics over the layer's slice (lowest EDP,
+        # first wins ties) — this fold runs once per (design, layer,
+        # degree) of every network sweep, so the intermediate list
+        # and call overhead are worth skipping.
+        best = None
+        for candidate in results[index:index + span]:
+            if candidate is not None and (
+                best is None or candidate.edp < best.edp
+            ):
+                best = candidate
+        index += span
         if best is None:
             return None
         per_layer[layer.name] = best

@@ -238,7 +238,28 @@ def build_metrics_batch(
     )
     breakdowns, energy_totals = activity.energy_rows(arch, estimator)
     cycles_list = cycles.tolist()
-    utilization_list = as_vector(utilization, size).tolist()
+    utilization_vec = as_vector(utilization, size)
+    utilization_list = utilization_vec.tolist()
+    descriptions = batch.descriptions
+    if not (
+        cycles.min() > 0.0
+        and utilization_vec.min() > 0.0
+        and utilization_vec.max() <= 1.0 + 1e-9
+    ):
+        # Some row fails the Metrics range checks (NaN also lands
+        # here — it fails every comparison): construct the offending
+        # row through the validating dataclass path so the caller gets
+        # the exact scalar-path ModelError.
+        for i in range(size):
+            Metrics(
+                design=arch.name,
+                workload=descriptions[i],
+                cycles=cycles_list[i],
+                energy_breakdown_pj=breakdowns[i],
+                utilization=utilization_list[i],
+                supported=supported,
+                swapped=swapped,
+            )
     # Seed the derived cached properties from the vectorized totals:
     # the fold order matches the scalar sum bit for bit (see
     # ActivityMatrix.energy_rows), and edp is the same one multiply,
@@ -246,19 +267,55 @@ def build_metrics_batch(
     # seeding just skips ~2 cached_property computes per Metrics.
     energy_list = energy_totals.tolist()
     edp_list = (energy_totals * cycles).tolist()
-    descriptions = batch.descriptions
+    # Trusted construction: every row passed the vectorized range
+    # checks above, so the dataclass __init__/__post_init__ re-checks
+    # are skipped (they dominate the per-row assembly cost at batch
+    # sizes; the field set below is exactly the dataclass's).
+    design_name = arch.name
+    value_block = activity.value_block
+    if value_block is not None and size:
+        # Uniform-breakdown fast path: stash each row's cache-codec
+        # blob alongside the Metrics while the packed value column is
+        # at hand, so a cache flush never re-encodes what this loop
+        # already held as bytes. Deferred import: the eval layer
+        # imports the model layer at module load, not vice versa.
+        from repro.eval import codec
+
+        n_components = len(breakdowns[0])
+        row_bytes = n_components * 8
+        design_utf8 = codec.utf8(design_name)
+        names_utf8 = codec.utf8("\0".join(breakdowns[0]))
+        flags = (1 if supported else 0) | (2 if swapped else 0)
+        stash_key = codec.BLOB_STASH
+        pack_blob = codec.pack_blob
+        utf8 = codec.utf8
+    else:
+        stash_key = None
+    new = object.__new__
     out = []
     for i in range(size):
-        metrics = Metrics(
-            design=arch.name,
-            workload=descriptions[i],
-            cycles=cycles_list[i],
-            energy_breakdown_pj=breakdowns[i],
-            utilization=utilization_list[i],
-            supported=supported,
-            swapped=swapped,
-        )
-        metrics.__dict__["energy_pj"] = energy_list[i]
-        metrics.__dict__["edp"] = edp_list[i]
+        metrics = new(Metrics)
+        metrics.__dict__.update({
+            "design": design_name,
+            "workload": descriptions[i],
+            "cycles": cycles_list[i],
+            "energy_breakdown_pj": breakdowns[i],
+            "utilization": utilization_list[i],
+            "supported": supported,
+            "swapped": swapped,
+            "energy_pj": energy_list[i],
+            "edp": edp_list[i],
+        })
+        if stash_key is not None:
+            metrics.__dict__[stash_key] = pack_blob(
+                flags,
+                cycles_list[i],
+                utilization_list[i],
+                design_utf8,
+                utf8(descriptions[i]),
+                names_utf8,
+                value_block[i * row_bytes:(i + 1) * row_bytes],
+                n_components,
+            )
         out.append(metrics)
     return out

@@ -106,6 +106,13 @@ class OperandSparsity:
         return (self.structure.value, quantize_degree(self.density), ranks)
 
     def describe(self) -> str:
+        """Display form, computed once per (frozen) instance — pattern
+        formatting is the expensive half and sweeps re-describe the
+        same long-lived operands constantly."""
+        return self._described
+
+    @cached_property
+    def _described(self) -> str:
         if self.is_dense:
             return "dense"
         if self.structure is Structure.HSS:
@@ -213,6 +220,13 @@ class MatmulWorkload:
         )
 
     def describe(self) -> str:
+        """Display form, computed once per (frozen) instance. The
+        realization layer memoizes workload instances, so this turns
+        repeated describes across sweeps/batches into one dict hit."""
+        return self._described
+
+    @cached_property
+    def _described(self) -> str:
         label = self.name or f"{self.m}x{self.k}x{self.n}"
         return (
             f"{label}: A={self.a.describe()}, B={self.b.describe()}"

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import cached_property
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.errors import PatternError
@@ -53,12 +54,15 @@ class HSSPattern:
         """The N of the N-rank HSS."""
         return len(self.ranks)
 
-    @property
+    @cached_property
     def density(self) -> float:
-        """Overall density: product of per-rank G/H fractions."""
+        """Overall density: product of per-rank G/H fractions.
+        Computed once per (frozen) instance — the exact-fraction
+        product is far more expensive than a float and sweeps query
+        densities constantly."""
         return float(self.density_fraction)
 
-    @property
+    @cached_property
     def density_fraction(self) -> Fraction:
         result = Fraction(1)
         for rank in self.ranks:

@@ -23,6 +23,7 @@ import repro.accelerators  # noqa: F401 - populates the registry
 from repro.accelerators.base import evaluate_workloads_batch
 from repro.accelerators.registry import REGISTRY
 from repro.dnn.models import deit_small
+from repro.eval import codec
 from repro.energy.estimator import Estimator
 from repro.errors import ModelError
 from repro.eval.cache import MISS, PersistentCache
@@ -132,13 +133,15 @@ class TestEngineBatchPath:
         m=64, k=64, n=64,
     )
 
-    def _sweep_payload(self, tmp_path, use_batch):
+    def _sweep_payload(self, tmp_path, use_batch, jobs=1,
+                       backend="thread"):
         estimator = Estimator()
         cache = PersistentCache.for_estimator(
             tmp_path, estimator, backend="json"
         )
         engine = SweepEngine(
-            estimator, cache=cache, use_batch=use_batch
+            estimator, cache=cache, use_batch=use_batch,
+            jobs=jobs, backend=backend,
         )
         sweep = engine.sweep(**self.GRID)
         engine.close()
@@ -169,13 +172,82 @@ class TestEngineBatchPath:
         )
         # The batch route records misses grouped by design, so the two
         # files may list entries in a different order — but digest for
-        # digest the serialized entries must match exactly.
+        # digest the encoded blobs must match byte for byte.
         batch_data = json.loads(batch_file)
         scalar_data = json.loads(scalar_file)
         assert batch_data["fingerprint"] == scalar_data["fingerprint"]
-        assert batch_data["entries"] == scalar_data["entries"]
+        batch_raw = codec.raw_from_columns(batch_data["columns"])
+        scalar_raw = codec.raw_from_columns(scalar_data["columns"])
+        assert batch_raw == scalar_raw
         assert batch_stats.misses == scalar_stats.misses
         assert batch_stats.hits == scalar_stats.hits
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_parallel_backends_match_scalar(self, tmp_path, backend):
+        """--jobs 4 over either worker backend must be indistinguishable
+        from the sequential scalar route: same payload floats, and the
+        persisted cache files must carry byte-identical blobs."""
+        parallel_payload, parallel_file, parallel_stats = (
+            self._sweep_payload(
+                tmp_path / backend, use_batch=True,
+                jobs=4, backend=backend,
+            )
+        )
+        scalar_payload, scalar_file, scalar_stats = self._sweep_payload(
+            tmp_path / "scalar", use_batch=False
+        )
+        assert json.dumps(parallel_payload, sort_keys=True) == json.dumps(
+            scalar_payload, sort_keys=True
+        )
+        parallel_raw = codec.raw_from_columns(
+            json.loads(parallel_file)["columns"]
+        )
+        scalar_raw = codec.raw_from_columns(
+            json.loads(scalar_file)["columns"]
+        )
+        assert parallel_raw == scalar_raw
+        assert parallel_stats.misses == scalar_stats.misses
+
+    def test_interrupt_mid_batch_keeps_completed_chunks(
+        self, tmp_path, monkeypatch
+    ):
+        """A kill between batch chunks must leave every *completed*
+        chunk recorded in the persistent cache — the chunk bound is the
+        interrupt-durability granularity."""
+        estimator = Estimator()
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        engine = SweepEngine(estimator, cache=cache, use_batch=True)
+        engine.batch_chunk_rows = 4
+        workloads = [
+            synthetic_workload(0.5, 0.25, size=16 * (i + 1))
+            for i in range(12)
+        ]
+        pairs = [("HighLight", w) for w in workloads]
+        original = SweepEngine._evaluate_batch_chunk
+        calls = []
+
+        def bomb(self, design, chunk, stack):
+            calls.append(len(chunk))
+            if len(calls) == 3:
+                raise KeyboardInterrupt
+            return original(self, design, chunk, stack)
+
+        monkeypatch.setattr(SweepEngine, "_evaluate_batch_chunk", bomb)
+        with pytest.raises(KeyboardInterrupt):
+            engine.evaluate_workloads(pairs)
+        assert calls == [4, 4, 4]
+        # The failure path flushed; a fresh cache must see exactly the
+        # first two chunks' entries (plan order = submission order).
+        fresh = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        keys = [("HighLight", w.key()) for w in workloads]
+        probed = fresh.get_many(keys)
+        assert [entry is not MISS for entry in probed] == (
+            [True] * 8 + [False] * 4
+        )
 
     def test_non_batch_capable_design_falls_back(self, monkeypatch):
         engine = SweepEngine(Estimator())

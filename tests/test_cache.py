@@ -8,6 +8,7 @@ from repro.energy import Estimator
 from repro.energy.tables import EnergyAreaTable
 from repro.errors import CacheError
 from repro.eval.cache import (
+    COLUMNS_SCHEMA_VERSION,
     MISS,
     PersistentCache,
     cache_stats,
@@ -155,7 +156,8 @@ class TestEngineIntegration:
         engine.flush()
         data = json.loads(cache.path.read_text())
         assert data["fingerprint"] == cache.fingerprint
-        assert len(data["entries"]) == 1
+        assert data["schema_version"] == COLUMNS_SCHEMA_VERSION
+        assert len(data["columns"]["lengths"]) == 1
 
 
 class TestMaintenance:

@@ -913,3 +913,155 @@ class TestJsonIncrementalEncoding:
             tmp_path, estimator, backend="json"
         )
         assert len(reloaded) == 3
+
+
+class TestColumnarAndLegacyFiles:
+    """The JSON store writes columnar schema-2 files; schema-1 files
+    (per-entry dicts: v1 tagged dicts or base64 blob strings) must keep
+    loading on both the best-effort runtime path and the loud
+    merge/migrate path, and both backends must hold byte-identical
+    codec payloads for the same entries."""
+
+    def _legacy_file(self, tmp_path, estimator, workload, metrics):
+        from repro.eval import codec
+        from repro.serialization import metrics_to_dict
+
+        fingerprint = estimator_fingerprint(estimator)
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        path = tmp_path / f"{fingerprint}.json"
+        entries = {
+            cache_mod.pair_digest("HighLight", workload.key()):
+                metrics_to_dict(metrics),
+            cache_mod.pair_digest("TC", workload.key()):
+                codec.json_entry_from_metrics(metrics),
+            cache_mod.pair_digest("S2TA", workload.key()): None,
+        }
+        path.write_text(json.dumps({
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "entries": entries,
+        }))
+        return path
+
+    def test_schema1_file_loads_at_runtime(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        self._legacy_file(tmp_path, estimator, workload, metrics)
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        cached = cache.get("HighLight", workload.key())
+        assert cached == metrics
+        assert cache.get("TC", workload.key()) == metrics
+        assert cache.get("S2TA", workload.key()) is None
+
+    def test_schema1_file_rewrites_columnar_on_flush(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        path = self._legacy_file(tmp_path, estimator, workload, metrics)
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        other = synthetic_workload(0.75, 0.0, size=64)
+        cache.put("DSTC", other.key(), metrics)
+        cache.flush()
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == cache_mod.COLUMNS_SCHEMA_VERSION
+        assert len(data["columns"]["lengths"]) == 4
+
+    def test_schema1_file_merges_loudly(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        """merge reads schema-1 shards through the validating raw
+        reader, so their entries land re-encoded as v2 blobs."""
+        from repro.eval import codec
+
+        self._legacy_file(tmp_path / "src", estimator, workload, metrics)
+        merge_cache_dirs([tmp_path / "src"], tmp_path / "dest")
+        (dest,) = cache_mod.cache_files(tmp_path / "dest")
+        raw = cache_mod._read_raw_entries(dest)
+        digest = cache_mod.pair_digest("HighLight", workload.key())
+        assert raw[digest] == codec.encode_metrics(metrics)
+
+    def test_corrupt_columns_read_empty_at_runtime_loud_on_merge(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        cache.put("HighLight", workload.key(), metrics)
+        cache.flush()
+        data = json.loads(cache.path.read_text())
+        data["columns"]["lengths"][0] += 7
+        cache.path.write_text(json.dumps(data))
+        runtime = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        assert runtime.get("HighLight", workload.key()) is MISS
+        with pytest.raises(CacheError, match="cannot read"):
+            merge_cache_dirs([tmp_path], tmp_path / "dest")
+
+    def test_stats_count_columnar_entries(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="json"
+        )
+        cache.put("HighLight", workload.key(), metrics)
+        cache.put("TC", workload.key(), None)
+        cache.flush()
+        record = cache_stats(tmp_path)
+        assert record["total_entries"] == 2
+        (per_file,) = record["files"]
+        assert per_file["entries"] == 2
+
+    def test_backends_hold_identical_raw_payloads(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        """Payload equality through the codec: the raw blob stored for
+        a digest must be the same bytes in a JSON file and a SQLite
+        database."""
+        for name in BACKENDS:
+            cache = PersistentCache.for_estimator(
+                tmp_path / name, estimator, backend=name
+            )
+            cache.put("HighLight", workload.key(), metrics)
+            cache.put("S2TA", workload.key(), None)
+            cache.flush()
+        raw = {
+            name: cache_mod._read_raw_entries(
+                cache_mod.cache_files(tmp_path / name)[0]
+            )
+            for name in BACKENDS
+        }
+        assert raw["json"] == raw["sqlite"]
+        assert any(blob is None for blob in raw["json"].values())
+
+    def test_migrate_reencodes_v1_sqlite_rows(
+        self, tmp_path, estimator, workload, metrics
+    ):
+        """A database carrying v1 JSON TEXT rows comes out of migrate
+        holding only v2 blobs."""
+        from repro.eval import codec
+        from repro.serialization import metrics_to_dict
+
+        cache = PersistentCache.for_estimator(
+            tmp_path, estimator, backend="sqlite"
+        )
+        cache.put("HighLight", workload.key(), metrics)
+        cache.flush()
+        digest = cache_mod.pair_digest("HighLight", workload.key())
+        with sqlite3.connect(cache.path) as conn:
+            conn.execute(
+                "UPDATE entries SET metrics = ? WHERE digest = ?",
+                (json.dumps(metrics_to_dict(metrics)), digest),
+            )
+        cache.close()
+        summary = migrate_cache_dir(tmp_path)
+        assert summary["reencoded_rows"] == 1
+        with sqlite3.connect(tmp_path / f"{cache.fingerprint}.db") as conn:
+            (value,) = conn.execute(
+                "SELECT metrics FROM entries WHERE digest = ?", (digest,)
+            ).fetchone()
+        assert isinstance(value, bytes)
+        assert value == codec.encode_metrics(metrics)

@@ -529,7 +529,7 @@ class TestCacheBackendOption:
         (tmp_path / "empty").mkdir()
         assert main(["cache", "migrate", "--cache-dir",
                      str(tmp_path / "empty")]) == 0
-        assert "no JSON cache files" in capsys.readouterr().out
+        assert "no cache files to migrate" in capsys.readouterr().out
 
     def test_merge_backend_controls_dest_format(self, tmp_path, capsys):
         shard = tmp_path / "s1"
@@ -605,10 +605,10 @@ class TestSingleEvaluationRegression:
             calls.append((design.name, workload.key()))
             return real(design, workload, estimator)
 
-        def counting_batch(design, workloads, estimator):
+        def counting_batch(design, workloads, estimator, **kwargs):
             for workload in workloads:
                 calls.append((design.name, workload.key()))
-            return real_batch(design, workloads, estimator)
+            return real_batch(design, workloads, estimator, **kwargs)
 
         monkeypatch.setattr(engine_mod, "evaluate_workload", counting)
         monkeypatch.setattr(

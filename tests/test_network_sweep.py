@@ -65,10 +65,10 @@ class TestExactlyOnceAcrossDegrees:
             calls.append((design.name, workload.key()))
             return real(design, workload, estimator)
 
-        def counting_batch(design, workloads, estimator):
+        def counting_batch(design, workloads, estimator, **kwargs):
             for workload in workloads:
                 calls.append((design.name, workload.key()))
-            return real_batch(design, workloads, estimator)
+            return real_batch(design, workloads, estimator, **kwargs)
 
         monkeypatch.setattr(engine_mod, "evaluate_workload", counting)
         monkeypatch.setattr(

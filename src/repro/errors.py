@@ -63,3 +63,11 @@ class EvaluationError(ReproError):
 class CacheError(ReproError):
     """A persistent-cache operation failed (e.g. merging cache
     directories whose estimator fingerprints disagree)."""
+
+
+class QueueError(CacheError):
+    """A job-queue operation failed (e.g. a worker attaching to a
+    queue database filled for a different estimator fingerprint).
+    Subclasses :class:`CacheError`: the queue lives inside the cache
+    database, and callers handling cache failures should see queue
+    failures too."""

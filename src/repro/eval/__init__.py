@@ -22,11 +22,13 @@ from repro.eval.harness import (
 from repro.eval.cache import PersistentCache, estimator_fingerprint
 from repro.eval.engine import Cell, SweepEngine, SweepResult, grid_cells
 from repro.eval.pareto import pareto_frontier, is_on_frontier
+from repro.eval.queue import JobStore, LeaseHeartbeat, queue_db_path
 from repro.eval.runs import (
     RunRecord,
     load_record,
     record_from_model_sweep,
     record_from_sweep,
+    record_from_worker,
 )
 from repro.eval import experiments, reporting
 
@@ -44,10 +46,14 @@ __all__ = [
     "grid_cells",
     "pareto_frontier",
     "is_on_frontier",
+    "JobStore",
+    "LeaseHeartbeat",
+    "queue_db_path",
     "RunRecord",
     "load_record",
     "record_from_model_sweep",
     "record_from_sweep",
+    "record_from_worker",
     "experiments",
     "reporting",
 ]

@@ -86,6 +86,44 @@ AUTO_SQLITE_ENTRIES = 10_000
 #: (an unsupported pair).
 MISS = object()
 
+#: SQLite busy-handler timeout (seconds) for cache/queue connections —
+#: how long SQLite itself blocks on a locked database before raising
+#: ``SQLITE_BUSY``.
+SQLITE_BUSY_TIMEOUT_S = 30.0
+
+#: Bounded Python-level retries layered on top of the busy timeout.
+#: Under WAL a writer can still see ``SQLITE_BUSY`` without the busy
+#: handler running (e.g. a snapshot-upgrade conflict), so contended
+#: multi-worker writes retry a few times with backoff and only then
+#: fail loudly.
+SQLITE_BUSY_RETRIES = 5
+SQLITE_BUSY_BACKOFF_S = 0.05
+
+
+def _is_busy_error(error: sqlite3.OperationalError) -> bool:
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+def _retry_locked(operation, retries: int = SQLITE_BUSY_RETRIES):
+    """Run ``operation`` with bounded retries on ``SQLITE_BUSY``.
+
+    Each retry backs off a little longer (50ms, 100ms, ...). Anything
+    but a lock/busy condition — and a lock that persists past the last
+    retry — propagates: contention is expected under multi-worker
+    writes, but a queue or flush that *stays* stuck must fail loudly,
+    not silently drop work.
+    """
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not _is_busy_error(error) or attempt >= retries:
+                raise
+            time.sleep(SQLITE_BUSY_BACKOFF_S * (attempt + 1))
+            attempt += 1
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-highlight``."""
@@ -308,8 +346,14 @@ class JsonCacheStore(CacheStore):
         for digest in dirty:
             # Overwritten entries must not reuse a stale encoding.
             encoded.pop(digest, None)
+        # Digest-sorted columns: the file's byte content is a pure
+        # function of its entries, so two fills that evaluated the
+        # same grid in different orders (or on different machines)
+        # produce identical files — the property queue-vs-local
+        # equivalence checks rely on.
         raw: Dict[str, Optional[bytes]] = {}
-        for digest, metrics in merged.items():
+        for digest in sorted(merged):
+            metrics = merged[digest]
             blob = encoded.get(digest, _UNENCODED)
             if blob is _UNENCODED:
                 blob = encoded[digest] = (
@@ -349,9 +393,14 @@ def _sqlite_connect_rw(path: Path, fingerprint: str) -> sqlite3.Connection:
     JSON store's mtime heuristic for concurrent-writer safety.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
-    conn = sqlite3.connect(path, timeout=30.0, check_same_thread=False)
+    conn = sqlite3.connect(
+        path, timeout=SQLITE_BUSY_TIMEOUT_S, check_same_thread=False
+    )
     try:
-        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(
+            f"PRAGMA busy_timeout={int(SQLITE_BUSY_TIMEOUT_S * 1000)}"
+        )
+        _retry_locked(lambda: conn.execute("PRAGMA journal_mode=WAL"))
         # synchronous=OFF: an OS crash mid-commit may corrupt the file,
         # but this cache is a reconstructible accelerator — a corrupt
         # database reads as empty and the next flush rotates + rebuilds
@@ -359,16 +408,19 @@ def _sqlite_connect_rw(path: Path, fingerprint: str) -> sqlite3.Connection:
         # the sweep hot path (a plain process crash loses nothing:
         # committed data is in the OS page cache/WAL either way).
         conn.execute("PRAGMA synchronous=OFF")
-        for statement in _SQLITE_SCHEMA:
-            conn.execute(statement)
-        conn.executemany(
-            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
-            [
-                ("schema_version", str(CACHE_SCHEMA_VERSION)),
-                ("fingerprint", fingerprint),
-            ],
-        )
-        conn.commit()
+        def ensure_schema() -> None:
+            for statement in _SQLITE_SCHEMA:
+                conn.execute(statement)
+            conn.executemany(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                [
+                    ("schema_version", str(CACHE_SCHEMA_VERSION)),
+                    ("fingerprint", fingerprint),
+                ],
+            )
+            conn.commit()
+
+        _retry_locked(ensure_schema)
     except BaseException:
         conn.close()
         raise
@@ -384,7 +436,7 @@ def _sqlite_connect_ro(path: Path) -> sqlite3.Connection:
     percent-encoded: a raw f-string URI would mangle directories
     containing ``#``, ``?``, or ``%``."""
     uri = f"file:{quote(str(path))}?mode=ro"
-    return sqlite3.connect(uri, uri=True, timeout=30.0)
+    return sqlite3.connect(uri, uri=True, timeout=SQLITE_BUSY_TIMEOUT_S)
 
 
 class _SchemaMismatch(Exception):
@@ -514,19 +566,27 @@ class SqliteCacheStore(CacheStore):
     ) -> None:
         conn = self._connect()
         verb = "REPLACE" if replace else "IGNORE"
-        conn.executemany(
-            f"INSERT OR {verb} INTO entries (digest, metrics) "
-            f"VALUES (?, ?)",
-            [
-                (
-                    digest,
-                    None if metrics is None
-                    else codec.encode_metrics(metrics),
-                )
-                for digest, metrics in dirty.items()
-            ],
-        )
-        conn.commit()
+        rows = [
+            (
+                digest,
+                None if metrics is None
+                else codec.encode_metrics(metrics),
+            )
+            for digest, metrics in dirty.items()
+        ]
+
+        def upsert() -> None:
+            conn.executemany(
+                f"INSERT OR {verb} INTO entries (digest, metrics) "
+                f"VALUES (?, ?)",
+                rows,
+            )
+            conn.commit()
+
+        # Contended multi-worker flushes retry a few times before the
+        # OperationalError escapes (the flush path treats it as
+        # transient and never rotates the file away).
+        _retry_locked(upsert)
 
     def _check_schema(self) -> None:
         if not self.path.exists():
@@ -851,21 +911,33 @@ def _count_entries(path: Path) -> int:
 
 
 def cache_stats(directory: "str | Path") -> Dict[str, Any]:
-    """Aggregate statistics for ``repro cache stats``."""
+    """Aggregate statistics for ``repro cache stats``.
+
+    SQLite files doubling as job queues (a ``jobs`` table beside the
+    cache ``entries`` — see :mod:`repro.eval.queue`) additionally
+    report their per-status job counts under ``queue`` rather than
+    being listed as plain cache files.
+    """
+    # Deferred: queue imports this module.
+    from repro.eval.queue import queue_counts
+
     files = cache_files(directory)
     per_file = []
     total_entries = 0
     for path in files:
         entries = _count_entries(path)
         total_entries += entries
-        per_file.append(
-            {
-                "file": path.name,
-                "backend": "sqlite" if path.suffix == ".db" else "json",
-                "entries": entries,
-                "bytes": path.stat().st_size,
-            }
-        )
+        info = {
+            "file": path.name,
+            "backend": "sqlite" if path.suffix == ".db" else "json",
+            "entries": entries,
+            "bytes": path.stat().st_size,
+        }
+        if path.suffix == ".db":
+            queue = queue_counts(path)
+            if queue is not None:
+                info["queue"] = queue
+        per_file.append(info)
     for path in _rotated_files(directory):
         # Set aside by flush recovery: no usable entries, but their
         # bytes are real and ``clear`` reclaims them.
@@ -1007,12 +1079,17 @@ def _write_raw_json(
     fingerprint: str,
     entries: Dict[str, Optional[bytes]],
 ) -> None:
+    # Digest-sorted for canonical bytes (see JsonCacheStore.flush):
+    # merging N worker shards and one local fill of the same grid
+    # yields bit-identical files, whatever order entries landed in.
     _atomic_write_json(
         path,
         {
             "schema_version": COLUMNS_SCHEMA_VERSION,
             "fingerprint": fingerprint,
-            "columns": codec.columns_from_raw(entries),
+            "columns": codec.columns_from_raw(
+                {digest: entries[digest] for digest in sorted(entries)}
+            ),
         },
     )
 

@@ -1,0 +1,82 @@
+"""Baseline files: let pre-existing findings ride without blocking CI.
+
+A baseline is a JSON file of finding *keys* (content-derived — see
+:meth:`~repro.analysis.findings.Finding.key`), written with
+``repro lint --baseline FILE --write-baseline`` and consumed on every
+subsequent run: each key suppresses as many matching findings as it
+has entries, so a *new* violation on an already-baselined line still
+fails.  The committed repo baseline ships near-empty — every genuine
+finding the rules surfaced was fixed instead of baselined.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import LintUsageError
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+def load_baseline(path: "str | Path") -> "Counter[str]":
+    """The key multiset a baseline file allows."""
+    path = Path(path)
+    if not path.is_file():
+        raise LintUsageError(f"baseline file {path} does not exist")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        keys = payload["findings"]
+        if not isinstance(keys, list) or not all(
+            isinstance(key, str) for key in keys
+        ):
+            raise ValueError("'findings' must be a list of keys")
+    except (ValueError, KeyError, TypeError) as exc:
+        raise LintUsageError(
+            f"baseline file {path} is not a lint baseline: {exc}"
+        )
+    return Counter(keys)
+
+
+def write_baseline(
+    path: "str | Path", findings: Iterable[Finding]
+) -> int:
+    """Write ``findings`` as the new baseline; returns how many."""
+    keys = sorted(finding.key() for finding in findings)
+    Path(path).write_text(
+        json.dumps(
+            {
+                "schema_version": BASELINE_SCHEMA_VERSION,
+                "findings": keys,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return len(keys)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], allowed: "Counter[str]"
+) -> Tuple[List[Finding], int]:
+    """Split findings into (kept, suppressed-count) under a baseline.
+
+    Each baseline key absorbs at most its multiplicity: two baselined
+    occurrences of one offending line suppress two findings with that
+    key, and a third — new — occurrence is kept.
+    """
+    budget = Counter(allowed)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,102 @@
+"""Finding and result dataclasses for the lint layer.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintResult` is everything one ``lint_paths`` run produced,
+ready for the reporting layer (text) or ``to_payload`` (JSON).
+Findings carry a content-derived :meth:`Finding.key` — rule id, path,
+and a hash of the offending source line — so baseline entries survive
+unrelated edits that only shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Severities a rule (or an individual finding) may carry, most
+#: severe first.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    severity: str = "error"
+    #: The stripped source line the finding anchors to; feeds the
+    #: content-derived baseline key.
+    snippet: str = ""
+
+    def key(self) -> str:
+        """Content-derived identity for baseline matching.
+
+        Line numbers drift when unrelated code is added above a
+        finding; the key hashes the offending line's text instead, so
+        a committed baseline entry keeps matching until the flagged
+        code itself changes.
+        """
+        digest = hashlib.sha1(self.snippet.encode("utf-8")).hexdigest()
+        return f"{self.rule}::{self.path}::{digest[:12]}"
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity,
+            "message": self.message,
+            "key": self.key(),
+        }
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Everything one lint run produced.
+
+    ``findings`` is the post-baseline list (what should fail CI);
+    ``baselined`` counts pre-existing findings the baseline file
+    suppressed.
+    """
+
+    findings: Tuple[Finding, ...] = ()
+    baselined: int = 0
+    files: int = 0
+    rules: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_payload(self) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {
+            "schema_version": 1,
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [f.to_payload() for f in self.findings],
+            "counts": counts,
+            "baselined": self.baselined,
+        }
+
+
+def sort_findings(findings: List[Finding]) -> Tuple[Finding, ...]:
+    """Stable presentation order: path, then line, then rule id."""
+    return tuple(
+        sorted(
+            findings,
+            key=lambda f: (f.path, f.line, f.column, f.rule),
+        )
+    )

@@ -1,0 +1,16 @@
+"""Builtin rules; importing this package registers them.
+
+Each module holds one rule (plus its helpers) and registers it into
+:data:`repro.analysis.registry.RULES` via the ``@rule`` decorator at
+import time — the same self-registration idiom as the design and
+artifact registries.
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    durability,
+    hygiene,
+    locking,
+    sql,
+    taxonomy,
+)

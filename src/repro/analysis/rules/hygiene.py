@@ -1,0 +1,148 @@
+"""REP005 registry-hygiene: decorators carry required metadata.
+
+The design/artifact registries are queryable (``repro list
+--filter KEY=VALUE``), which only works when every registration
+passes the metadata the filters key on: ``@register_design`` needs
+``category`` and ``sparsity_side``, ``@artifact`` needs a non-empty
+``title`` (the streaming UI prints it).  The rule also tracks
+registered names across the whole run and flags duplicates — a
+copy-pasted ``name = "TC"`` would otherwise either collide at import
+time in production or silently shadow a builtin, depending on scan
+mode.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.context import FileContext, attr_chain
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+_STATE_KEY = "REP005"
+#: decorator name -> keywords every call site must pass.
+_REQUIRED_KEYWORDS = {
+    "register_design": ("category", "sparsity_side"),
+    "artifact": ("title",),
+}
+
+
+def _decorator_call(node: ast.expr) -> Optional[Tuple[str, ast.Call]]:
+    if not isinstance(node, ast.Call):
+        return None
+    chain = attr_chain(node.func)
+    if chain and chain[-1] in _REQUIRED_KEYWORDS:
+        return chain[-1], node
+    return None
+
+
+def _class_name_constant(cls: ast.ClassDef) -> Optional[ast.Constant]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "name"
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    return stmt.value
+    return None
+
+
+def _registered_name(decorator: str, call: ast.Call,
+                     node: ast.AST) -> Optional[Tuple[str, ast.AST]]:
+    """The name this registration claims, and its anchor node."""
+    if decorator == "artifact":
+        if call.args and isinstance(call.args[0], ast.Constant):
+            return str(call.args[0].value), call.args[0]
+        return None
+    if isinstance(node, ast.ClassDef):
+        constant = _class_name_constant(node)
+        if constant is not None:
+            return str(constant.value), constant
+    return None
+
+
+@rule(
+    "registry-hygiene",
+    id="REP005",
+    category="registries",
+    severity="error",
+    finish=lambda shared: _finish(shared),
+)
+def check_registry_hygiene(ctx: FileContext) -> Iterator[Finding]:
+    """Registry decorators must pass required metadata; registered
+    names must be unique across the linted set."""
+    names = ctx.shared.setdefault(_STATE_KEY, {})
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.ClassDef, ast.FunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            resolved = _decorator_call(decorator)
+            if resolved is None:
+                continue
+            kind, call = resolved
+            keywords = {kw.arg for kw in call.keywords if kw.arg}
+            missing = [
+                key
+                for key in _REQUIRED_KEYWORDS[kind]
+                if key not in keywords
+            ]
+            if missing:
+                finding = ctx.finding(
+                    check_registry_hygiene,
+                    call,
+                    f"@{kind} on {node.name} is missing required "
+                    f"metadata: {', '.join(missing)} (repro list "
+                    f"--filter and the run UI key on it)",
+                )
+                if finding is not None:
+                    yield finding
+            for kw in call.keywords:
+                if (
+                    kw.arg in _REQUIRED_KEYWORDS[kind]
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value in ("", None)
+                ):
+                    finding = ctx.finding(
+                        check_registry_hygiene,
+                        kw.value,
+                        f"@{kind} on {node.name} passes empty "
+                        f"{kw.arg!r}",
+                    )
+                    if finding is not None:
+                        yield finding
+            claimed = _registered_name(kind, call, node)
+            if claimed is not None:
+                name, anchor = claimed
+                names.setdefault((kind, name), []).append(
+                    _pending_duplicate(ctx, anchor, kind, name)
+                )
+
+
+def _pending_duplicate(
+    ctx: FileContext, anchor: ast.AST, kind: str, name: str
+) -> Optional[Finding]:
+    return ctx.finding(
+        check_registry_hygiene,
+        anchor,
+        f"duplicate {kind} registration for name {name!r} — "
+        f"registries raise (or silently shadow, depending on scan "
+        f"mode) on colliding names",
+    )
+
+
+def _finish(shared: Dict[str, Any]) -> Iterator[Finding]:
+    names: Dict[Tuple[str, str], List[Optional[Finding]]] = shared.get(
+        _STATE_KEY, {}
+    )
+    for registrations in names.values():
+        if len(registrations) < 2:
+            continue
+        # The first registration is the legitimate one; every later
+        # claimant is flagged.
+        for finding in registrations[1:]:
+            if finding is not None:
+                yield finding

@@ -14,6 +14,7 @@ Usage::
     python -m repro worker [--queue DB]     # claim + evaluate until drained
     python -m repro list [--filter k=v]     # registered designs/artifacts
     python -m repro report [--output PATH]  # EXPERIMENTS.md record
+    python -m repro lint [PATHS]            # repo invariant checker
 
 Bare artifact names keep working as shorthand: ``python -m repro
 fig13`` and ``python -m repro all`` mean ``artifact fig13`` / ``artifact
@@ -59,6 +60,8 @@ from repro.energy.estimator import Estimator
 from repro.errors import (
     CacheError,
     EvaluationError,
+    LintError,
+    LintUsageError,
     QueueError,
     WorkloadError,
 )
@@ -472,6 +475,51 @@ def build_parser() -> argparse.ArgumentParser:
         "registry markdown section",
     )
     _add_engine_options(report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant checker over the repo's sources",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids or names to run "
+        "(default: every registered rule)",
+    )
+    lint.add_argument(
+        "--exclude-rules", default=None, metavar="IDS",
+        help="comma-separated rule ids or names to skip",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="lint_format",
+        help="findings as a table (default) or a JSON document",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in FILE (see --write-baseline)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to --baseline FILE and exit 0",
+    )
+    lint.add_argument(
+        "--plugins", action="append", default=[], metavar="DIR",
+        help="load additional @rule modules from DIR (repeatable)",
+    )
+    lint.add_argument(
+        "--on-collision", choices=("raise", "skip", "replace"),
+        default="raise",
+        help="what a plugin rule that reuses a built-in id/name does "
+        "(default raise)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
     return parser
 
 
@@ -569,7 +617,10 @@ def _cmd_artifact(args: argparse.Namespace,
                     print(_stream_stats_line(event), file=sys.stderr)
             elif isinstance(event, RunFinished):
                 final = event
-        assert final is not None
+        if final is None:  # events() always ends with one
+            raise EvaluationError(
+                "run plan produced no RunFinished event"
+            )
         if not args.stream:
             print(_render_outputs(final.results, args.fmt))
         if ctx.record_path:
@@ -1133,6 +1184,79 @@ def _cmd_report(args: argparse.Namespace,
         return 0
 
 
+def _split_rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _cmd_lint(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    from repro import analysis
+
+    try:
+        # Plugins register into a per-invocation clone so a bad plugin
+        # (or --on-collision replace) can never contaminate the
+        # process-wide registry for later in-process calls.
+        registry = analysis.RULES.clone()
+        for directory in args.plugins:
+            analysis.load_plugins(
+                directory, registry=registry,
+                on_collision=args.on_collision,
+            )
+        if args.list_rules:
+            rows = [
+                [
+                    info.id,
+                    info.name,
+                    info.category,
+                    info.severity,
+                    "yes" if info.fixable else "no",
+                ]
+                for info in registry.infos()
+            ]
+            print(R.format_table(
+                ("id", "name", "category", "severity", "fixable"), rows
+            ))
+            return 0
+        include = _split_rule_list(args.rules)
+        exclude = _split_rule_list(args.exclude_rules)
+        if args.write_baseline:
+            if args.baseline is None:
+                raise LintUsageError(
+                    "--write-baseline needs --baseline FILE as the "
+                    "destination"
+                )
+            result = analysis.lint_paths(
+                args.paths, rules=include, exclude=exclude,
+                registry=registry,
+            )
+            count = analysis.write_baseline(
+                args.baseline, result.findings
+            )
+            print(f"wrote {count} finding(s) to {args.baseline}")
+            return 0
+        baseline = (
+            analysis.load_baseline(args.baseline)
+            if args.baseline is not None else None
+        )
+        result = analysis.lint_paths(
+            args.paths, rules=include, exclude=exclude,
+            registry=registry, baseline=baseline,
+        )
+    except LintUsageError as exc:
+        parser.error(str(exc))  # exits 2
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.lint_format == "json":
+        print(json.dumps(result.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(R.render_lint(result))
+    return 0 if result.clean else 1
+
+
 #: Parser built once per process: every choice list in
 #: :func:`build_parser` is a module-level constant and argparse parsers
 #: are reusable across ``parse_args`` calls, so rebuilding the ~40
@@ -1166,6 +1290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_worker(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)
+    if args.command == "lint":
+        return _cmd_lint(args, parser)
     return _cmd_report(args, parser)
 
 

@@ -65,6 +65,17 @@ class CacheError(ReproError):
     directories whose estimator fingerprints disagree)."""
 
 
+class LintError(ReproError):
+    """A static-analysis run failed (duplicate rule id, a plugin
+    module that does not import, a malformed baseline file)."""
+
+
+class LintUsageError(LintError):
+    """An invalid ``repro lint`` invocation (unknown rule id, missing
+    path, plugin directory, or baseline file) — the CLI maps this to
+    exit code 2, like any other argparse usage error."""
+
+
 class QueueError(CacheError):
     """A job-queue operation failed (e.g. a worker attaching to a
     queue database filled for a different estimator fingerprint).

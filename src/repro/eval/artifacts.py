@@ -464,7 +464,10 @@ class RunPlan:
                 finished.append(event)
             elif isinstance(event, RunFinished):
                 final = event
-        assert final is not None  # events() always ends with one
+        if final is None:  # events() always ends with one
+            raise EvaluationError(
+                "run plan produced no RunFinished event"
+            )
         return RunOutcome(
             results=final.results,
             artifacts=tuple(finished),

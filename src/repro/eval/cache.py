@@ -439,6 +439,17 @@ def _sqlite_connect_ro(path: Path) -> sqlite3.Connection:
     return sqlite3.connect(uri, uri=True, timeout=SQLITE_BUSY_TIMEOUT_S)
 
 
+#: Entry upserts as fixed literal statements (REP002: SQL is never
+#: assembled from runtime strings; the REPLACE/IGNORE choice selects
+#: between two complete templates instead of interpolating a verb).
+_UPSERT_REPLACE = (
+    "INSERT OR REPLACE INTO entries (digest, metrics) VALUES (?, ?)"
+)
+_UPSERT_IGNORE = (
+    "INSERT OR IGNORE INTO entries (digest, metrics) VALUES (?, ?)"
+)
+
+
 class _SchemaMismatch(Exception):
     """A database whose recorded schema version this code cannot use
     (internal control flow for the SQLite store's flush recovery)."""
@@ -565,7 +576,7 @@ class SqliteCacheStore(CacheStore):
         replace: bool = True,
     ) -> None:
         conn = self._connect()
-        verb = "REPLACE" if replace else "IGNORE"
+        sql = _UPSERT_REPLACE if replace else _UPSERT_IGNORE
         rows = [
             (
                 digest,
@@ -576,11 +587,7 @@ class SqliteCacheStore(CacheStore):
         ]
 
         def upsert() -> None:
-            conn.executemany(
-                f"INSERT OR {verb} INTO entries (digest, metrics) "
-                f"VALUES (?, ?)",
-                rows,
-            )
+            conn.executemany(sql, rows)
             conn.commit()
 
         # Contended multi-worker flushes retry a few times before the
@@ -684,6 +691,11 @@ class PersistentCache:
     verdicts). All operations are guarded by an internal lock, so an
     engine can perform lookups while another thread flushes.
     """
+
+    #: Fields that must only be touched under ``self._lock`` (REP001).
+    #: Helpers that assume the caller already holds the lock carry a
+    #: ``*_locked`` suffix instead.
+    _lock_guarded = frozenset({"_entries", "_dirty", "_last_flush"})
 
     def __init__(
         self,
@@ -1101,11 +1113,9 @@ def _write_raw_sqlite(
     replace: bool = True,
 ) -> None:
     conn = _sqlite_connect_rw(path, fingerprint)
-    verb = "REPLACE" if replace else "IGNORE"
     try:
         conn.executemany(
-            f"INSERT OR {verb} INTO entries (digest, metrics) "
-            f"VALUES (?, ?)",
+            _UPSERT_REPLACE if replace else _UPSERT_IGNORE,
             list(entries.items()),
         )
         conn.commit()

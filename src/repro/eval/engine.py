@@ -381,6 +381,20 @@ class SweepEngine:
     #: so engine + cache lifetimes are exactly the estimator's.
     _SHARED_ATTR = "_shared_sweep_engine"
 
+    #: Fields shared across threads, touched only under ``self._lock``
+    #: — machine-checked by ``repro lint`` (REP001 lock-discipline);
+    #: methods named ``*_locked`` are called with the lock already
+    #: held. Add any new shared field here, not just to __init__.
+    _lock_guarded = frozenset({
+        "stats",
+        "_cache",
+        "_inflight",
+        "_instances",
+        "_process_pool",
+        "_thread_pool",
+        "_thread_pool_jobs",
+    })
+
     def __init__(
         self,
         estimator: Optional[Estimator] = None,
@@ -715,7 +729,7 @@ class SweepEngine:
             batch_source=None if stack is None else stack.batch_for,
         )
 
-    def _wait_event(self, key: "PairKey") -> threading.Event:
+    def _wait_event_locked(self, key: "PairKey") -> threading.Event:
         """The Event a caller must wait on for an in-flight key,
         materializing it on first demand. Caller holds the lock."""
         event = self._inflight[key]
@@ -724,7 +738,7 @@ class SweepEngine:
             self._inflight[key] = event
         return event
 
-    def _claim_unknown(
+    def _claim_unknown_locked(
         self,
         unknown: Dict[PairKey, Pair],
         probed: List[Any],
@@ -739,7 +753,7 @@ class SweepEngine:
             if key in self._cache:
                 self.stats.hits += 1
             elif key in self._inflight:
-                waits[key] = self._wait_event(key)
+                waits[key] = self._wait_event_locked(key)
                 self.stats.hits += 1
             elif cached is not cache_mod.MISS:
                 self._cache[key] = cached
@@ -781,19 +795,19 @@ class SweepEngine:
                 elif key in self._cache:
                     self.stats.hits += 1
                 elif key in self._inflight:
-                    waits[key] = self._wait_event(key)
+                    waits[key] = self._wait_event_locked(key)
                     self.stats.hits += 1
                 else:
                     unknown[key] = pair
             if unknown and self.persistent is None:
-                self._claim_unknown(
+                self._claim_unknown_locked(
                     unknown, [cache_mod.MISS] * len(unknown), own, waits
                 )
                 unknown = {}
         if unknown:
             probed = self.persistent.get_many(list(unknown))
             with self._lock:
-                self._claim_unknown(unknown, probed, own, waits)
+                self._claim_unknown_locked(unknown, probed, own, waits)
         if own:
             try:
                 # Record each chunk as it completes rather than after

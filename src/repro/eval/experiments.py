@@ -978,7 +978,11 @@ def fig17(ctx: ContextLike = None, size: int = 1024) -> Fig17Result:
     for h, workload in workloads:
         metrics_hl = next(results)
         metrics_dsso = next(results)
-        assert metrics_hl is not None and metrics_dsso is not None
+        if metrics_hl is None or metrics_dsso is None:
+            raise EvaluationError(
+                f"fig17 workload H={h} was unsupported by "
+                f"HighLight or DSSO — both must evaluate"
+            )
         dense_cycles = workload.dense_products / num_macs
         speeds[h] = (
             dense_cycles / metrics_hl.cycles,

@@ -191,6 +191,10 @@ class JobStore:
     costs at most an early or late reclaim, never a lost result.
     """
 
+    #: Fields that must only be touched under ``self._lock`` (REP001).
+    #: ``*_locked`` helpers assume the caller already holds the lock.
+    _lock_guarded = frozenset({"_conn"})
+
     def __init__(
         self,
         path: "str | Path",
@@ -207,8 +211,9 @@ class JobStore:
         if fingerprint is None:
             fingerprint = self.path.stem
         self.fingerprint = fingerprint
-        conn = self._connect()
-        recorded = cache_mod._sqlite_meta(conn).get("fingerprint")
+        with self._lock:
+            conn = self._connect_locked()
+            recorded = cache_mod._sqlite_meta(conn).get("fingerprint")
         if recorded is not None and recorded != fingerprint:
             self.close()
             raise QueueError(
@@ -217,7 +222,7 @@ class JobStore:
                 f"workers and fills must share one cost model"
             )
 
-    def _connect(self) -> sqlite3.Connection:
+    def _connect_locked(self) -> sqlite3.Connection:
         if self._conn is None:
             conn = cache_mod._sqlite_connect_rw(
                 self.path, self.fingerprint
@@ -266,7 +271,7 @@ class JobStore:
         if not staged:
             return FillSummary()
         with self._lock:
-            conn = self._connect()
+            conn = self._connect_locked()
             digests = list(staged)
             cached = self._existing(conn, "entries", digests)
             queued = self._existing(conn, "jobs", digests)
@@ -305,10 +310,24 @@ class JobStore:
             raise
         conn.execute("COMMIT")
 
-    @staticmethod
+    #: Existence probes as complete literal templates per table —
+    #: only the '?'-placeholder list is expanded at run time, never an
+    #: identifier (REP002).
+    _EXISTING_SQL = {
+        "entries": "SELECT digest FROM entries WHERE digest IN ({})",
+        "jobs": "SELECT digest FROM jobs WHERE digest IN ({})",
+    }
+
+    @classmethod
     def _existing(
-        conn: sqlite3.Connection, table: str, digests: List[str]
+        cls, conn: sqlite3.Connection, table: str, digests: List[str]
     ) -> set:
+        template = cls._EXISTING_SQL.get(table)
+        if template is None:
+            raise QueueError(
+                f"no existence probe for table {table!r}; "
+                f"known: {', '.join(sorted(cls._EXISTING_SQL))}"
+            )
         found: set = set()
         for start in range(0, len(digests), 500):
             chunk = digests[start:start + 500]
@@ -316,9 +335,7 @@ class JobStore:
             found.update(
                 digest
                 for (digest,) in conn.execute(
-                    f"SELECT digest FROM {table} "  # noqa: S608
-                    f"WHERE digest IN ({placeholders})",
-                    chunk,
+                    template.format(placeholders), chunk
                 )
             )
         return found
@@ -345,7 +362,7 @@ class JobStore:
         now = self.clock()
 
         def txn() -> List[Tuple[str, str, str, int]]:
-            conn = self._connect()
+            conn = self._connect_locked()
             conn.execute("BEGIN IMMEDIATE")
             try:
                 rows = conn.execute(
@@ -438,7 +455,7 @@ class JobStore:
         run out)."""
 
         def txn() -> int:
-            conn = self._connect()
+            conn = self._connect_locked()
             conn.execute("BEGIN IMMEDIATE")
             try:
                 cursor = conn.execute(
@@ -467,7 +484,7 @@ class JobStore:
             return 0
 
         def txn() -> int:
-            conn = self._connect()
+            conn = self._connect_locked()
             conn.execute("BEGIN IMMEDIATE")
             try:
                 moved = 0
@@ -491,38 +508,45 @@ class JobStore:
         ``pending``; returns how many moved. Stale reclaim normally
         happens implicitly in :meth:`claim_batch` — the explicit form
         exists for operators resetting a queue by hand."""
-        clauses = []
-        params: List[Any] = []
-        if failed:
-            clauses.append("status = 'failed'")
-        if stale:
-            clauses.append("(status = 'claimed' AND lease_until < ?)")
-            params.append(self.clock())
-        if not clauses:
+        if not failed and not stale:
             return 0
+        now = self.clock()
 
         def txn() -> int:
-            conn = self._connect()
+            # One transaction, one complete literal statement per
+            # eligibility class (REP002: no clause concatenation) —
+            # the rowcounts add because the WHERE conditions are
+            # disjoint by status.
+            conn = self._connect_locked()
             conn.execute("BEGIN IMMEDIATE")
             try:
-                cursor = conn.execute(
-                    "UPDATE jobs SET status = 'pending',"
-                    " worker = NULL, lease_until = NULL, error = NULL"
-                    " WHERE " + " OR ".join(clauses),
-                    params,
-                )
+                moved = 0
+                if failed:
+                    moved += conn.execute(
+                        "UPDATE jobs SET status = 'pending',"
+                        " worker = NULL, lease_until = NULL,"
+                        " error = NULL WHERE status = 'failed'"
+                    ).rowcount
+                if stale:
+                    moved += conn.execute(
+                        "UPDATE jobs SET status = 'pending',"
+                        " worker = NULL, lease_until = NULL,"
+                        " error = NULL WHERE status = 'claimed'"
+                        " AND lease_until < ?",
+                        (now,),
+                    ).rowcount
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
             conn.execute("COMMIT")
-            return cursor.rowcount
+            return moved
 
         with self._lock:
             return cache_mod._retry_locked(txn)
 
     def stats(self) -> QueueStats:
         with self._lock:
-            conn = self._connect()
+            conn = self._connect_locked()
             counts = dict(
                 conn.execute(
                     "SELECT status, COUNT(*) FROM jobs GROUP BY status"
@@ -544,7 +568,7 @@ class JobStore:
     def workers(self) -> Dict[str, int]:
         """Live claim counts per worker id (``queue stats`` detail)."""
         with self._lock:
-            conn = self._connect()
+            conn = self._connect_locked()
             return dict(
                 conn.execute(
                     "SELECT worker, COUNT(*) FROM jobs"

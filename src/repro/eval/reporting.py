@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.eval.experiments import (
     Fig2Result,
@@ -15,6 +15,9 @@ from repro.eval.experiments import (
     SweepResult,
     TablesResult,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.findings import LintResult
 
 
 def format_table(
@@ -276,3 +279,28 @@ def render_fig17(result: Fig17Result) -> str:
         "Fig. 17 — normalized processing speed (dense = 1x)\n"
         + format_table(headers, rows)
     )
+
+
+def render_lint(result: "LintResult") -> str:
+    """Findings as a location-sorted table plus a one-line summary.
+
+    The summary always prints — a clean run still reports how many
+    files and rules it covered, so "no output" can never be confused
+    with "did not run".
+    """
+    parts: List[str] = []
+    if result.findings:
+        headers = ["location", "rule", "severity", "message"]
+        rows = [
+            [f.location, f.rule, f.severity, f.message]
+            for f in result.findings
+        ]
+        parts.append(format_table(headers, rows))
+    summary = (
+        f"{len(result.findings)} finding(s) across {result.files} "
+        f"file(s), {len(result.rules)} rule(s)"
+    )
+    if result.baselined:
+        summary += f"; {result.baselined} baselined"
+    parts.append(summary)
+    return "\n".join(parts)

@@ -11,6 +11,7 @@ hold at each perturbation.
 
 from __future__ import annotations
 
+from contextlib import closing
 from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
 
@@ -108,8 +109,12 @@ def sweep_sensitivity(
         for scale in scales:
             table = perturb_table(base, constant, scale)
             engine = SweepEngine(Estimator(table), jobs=jobs)
-            sweep = fig13(engine, size=size)
-            checks = _check(sweep, parity_tolerance)
+            # closing(): each perturbation's engine lazily creates
+            # worker pools under jobs > 1; without a close every loop
+            # iteration leaks one (REP004 close-discipline).
+            with closing(engine):
+                sweep = fig13(engine, size=size)
+                checks = _check(sweep, parity_tolerance)
             outcomes.append(
                 SensitivityOutcome(
                     constant=constant, scale=scale, **checks

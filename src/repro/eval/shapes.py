@@ -61,58 +61,71 @@ def sweep_shapes(
     cells can run in parallel (``jobs``) and the per-shape headline
     lookups below are pure cache hits.
     """
+    created = engine is None
     if engine is None:
         engine = SweepEngine(estimator, jobs=jobs)
-    cells: List[Cell] = []
-    for shape in shapes:
-        m, k, n = shape
-        cells.extend(
-            grid_cells(
-                SHAPE_DESIGNS, SHAPE_A_DEGREES, SHAPE_B_DEGREES, m, k, n
+    try:
+        cells: List[Cell] = []
+        for shape in shapes:
+            m, k, n = shape
+            cells.extend(
+                grid_cells(
+                    SHAPE_DESIGNS, SHAPE_A_DEGREES, SHAPE_B_DEGREES,
+                    m, k, n,
+                )
             )
-        )
-    engine.evaluate_cells(cells)
+        engine.evaluate_cells(cells)
 
-    def lookup(
-        design: str, sparsity_a: float, sparsity_b: float,
-        shape: Tuple[int, int, int],
-    ) -> Optional[Metrics]:
-        m, k, n = shape
-        return engine.evaluate_cells(
-            [Cell(design, sparsity_a, sparsity_b, m, k, n)]
-        )[0]
+        def lookup(
+            design: str, sparsity_a: float, sparsity_b: float,
+            shape: Tuple[int, int, int],
+        ) -> Optional[Metrics]:
+            m, k, n = shape
+            return engine.evaluate_cells(
+                [Cell(design, sparsity_a, sparsity_b, m, k, n)]
+            )[0]
 
-    outcomes: List[ShapeOutcome] = []
-    for shape in shapes:
-        best = True
-        for sparsity_a in SHAPE_A_DEGREES:
-            for sparsity_b in SHAPE_B_DEGREES:
-                per_design: Dict[str, Optional[Metrics]] = {
-                    name: lookup(name, sparsity_a, sparsity_b, shape)
-                    for name in SHAPE_DESIGNS
-                }
-                ours = per_design["HighLight"].edp
-                for name, metrics in per_design.items():
-                    if name == "HighLight" or metrics is None:
-                        continue
-                    if ours > metrics.edp * (1 + parity_tolerance):
-                        best = False
-        dense_tc = lookup("TC", 0.0, 0.0, shape)
-        dense_hl = lookup("HighLight", 0.0, 0.0, shape)
-        sparse_tc = lookup("TC", 0.75, 0.5, shape)
-        sparse_hl = lookup("HighLight", 0.75, 0.5, shape)
-        outcomes.append(
-            ShapeOutcome(
-                shape=shape,
-                highlight_best=best,
-                dense_parity=(
-                    dense_hl.edp / dense_tc.edp
-                    <= 1 + parity_tolerance
-                ),
-                sparse_gain_vs_dense=sparse_tc.edp / sparse_hl.edp,
+        outcomes: List[ShapeOutcome] = []
+        for shape in shapes:
+            best = True
+            for sparsity_a in SHAPE_A_DEGREES:
+                for sparsity_b in SHAPE_B_DEGREES:
+                    per_design: Dict[str, Optional[Metrics]] = {
+                        name: lookup(
+                            name, sparsity_a, sparsity_b, shape
+                        )
+                        for name in SHAPE_DESIGNS
+                    }
+                    ours = per_design["HighLight"].edp
+                    for name, metrics in per_design.items():
+                        if name == "HighLight" or metrics is None:
+                            continue
+                        if ours > metrics.edp * (1 + parity_tolerance):
+                            best = False
+            dense_tc = lookup("TC", 0.0, 0.0, shape)
+            dense_hl = lookup("HighLight", 0.0, 0.0, shape)
+            sparse_tc = lookup("TC", 0.75, 0.5, shape)
+            sparse_hl = lookup("HighLight", 0.75, 0.5, shape)
+            outcomes.append(
+                ShapeOutcome(
+                    shape=shape,
+                    highlight_best=best,
+                    dense_parity=(
+                        dense_hl.edp / dense_tc.edp
+                        <= 1 + parity_tolerance
+                    ),
+                    sparse_gain_vs_dense=(
+                        sparse_tc.edp / sparse_hl.edp
+                    ),
+                )
             )
-        )
-    return outcomes
+        return outcomes
+    finally:
+        # Close only an engine this call created (REP004): a borrowed
+        # engine's pools belong to the caller. Without this, every
+        # jobs > 1 invocation leaked a worker pool.
+        if created:
+            engine.close()
 
 
 def summarize_shapes(outcomes: Sequence[ShapeOutcome]) -> str:

@@ -1,0 +1,114 @@
+"""Per-request overhead of the ``repro serve`` HTTP layer.
+
+A warm served request does no evaluation — every workload is a memory
+hit — so its wall time is exactly the service stack: HTTP parse, spec
+validation + digest, broker bookkeeping, the executor round-trip, and
+NDJSON fan-out. These benchmarks time warm ``POST /v1/artifacts``
+round-trips against the equivalent in-process warm
+:meth:`RunPlan.events` drain, and the comparison test pins the
+service's *absolute* per-request overhead (the delta, not a ratio —
+the in-process drain is milliseconds, so a ratio would be all noise)
+to a bound loose enough for CI yet tight enough that accidental
+per-request work (re-validating the registry, spawning engines,
+buffering whole streams before writing) fails loudly.
+"""
+
+import asyncio
+import json
+import time
+
+from conftest import emit
+
+from repro.eval.artifacts import RunPlan
+from repro.eval.engine import EngineContext
+from repro.serve.server import EvaluationService
+
+#: Warm-path artifacts with real engine work (same set as
+#: bench_stream_overhead.py, minus the slow full-grid entries).
+NAMES = ("fig16", "fig17")
+SPEC = json.dumps({"artifacts": list(NAMES)}).encode("utf-8")
+
+ROUNDS = 10
+#: Per-request service-stack budget (seconds) on a warm engine.
+OVERHEAD_BUDGET_S = 0.25
+
+
+async def _request_once(port):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            b"POST /v1/artifacts HTTP/1.1\r\nHost: bench\r\n"
+            + f"Content-Length: {len(SPEC)}\r\n\r\n".encode("latin-1")
+            + SPEC
+        )
+        await writer.drain()
+        data = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    assert data.startswith(b"HTTP/1.1 200")
+    return data
+
+
+async def _timed_requests(service, rounds):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        await _request_once(service.port)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _serve_warm_best(rounds=ROUNDS):
+    async def main():
+        service = EvaluationService(EngineContext.create(), port=0)
+        await service.start()
+        try:
+            await _request_once(service.port)  # cold fill
+            return await _timed_requests(service, rounds)
+        finally:
+            await service.aclose()
+
+    return asyncio.run(main())
+
+
+def _inprocess_warm_best(rounds=ROUNDS):
+    ctx = EngineContext.create()
+    plan = RunPlan.from_names(NAMES, ctx)
+    plan.run()  # cold fill
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in plan.events():
+            pass
+        best = min(best, time.perf_counter() - start)
+    ctx.close()
+    return best
+
+
+def test_served_request_warm(benchmark):
+    async def main():
+        service = EvaluationService(EngineContext.create(), port=0)
+        await service.start()
+        try:
+            await _request_once(service.port)
+            return await _timed_requests(service, 1)
+        finally:
+            await service.aclose()
+
+    benchmark(lambda: asyncio.run(main()))
+
+
+def test_service_overhead_is_bounded():
+    served = _serve_warm_best()
+    direct = _inprocess_warm_best()
+    overhead = served - direct
+    emit(
+        "Warm request: served vs in-process (best of 10)",
+        f"served={served * 1e3:.1f} ms  direct={direct * 1e3:.1f} ms  "
+        f"service stack={overhead * 1e3:.1f} ms",
+    )
+    assert overhead < OVERHEAD_BUDGET_S

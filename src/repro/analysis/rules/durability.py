@@ -1,11 +1,13 @@
 """REP004 close-discipline: constructed engines/stores must close.
 
 ``SweepEngine.close()`` flushes the persistent cache and tears down
-worker pools; ``JobStore.close()`` releases the SQLite connection.
-The PR 4 durability guarantee — an interrupted grid keeps every
-completed evaluation — holds only if every construction site funnels
-through ``close()`` on all exit paths.  This rule flags a watched
-constructor call whose result provably never reaches one:
+worker pools; ``JobStore.close()`` releases the SQLite connection;
+``EvaluationService.close()`` (the ``repro serve`` layer) closes the
+engine the whole service shares.  The PR 4 durability guarantee — an
+interrupted grid keeps every completed evaluation — holds only if
+every construction site funnels through ``close()`` on all exit
+paths.  This rule flags a watched constructor call whose result
+provably never reaches one:
 
 * used directly as (or wrapped in ``closing(...)`` inside) a
   ``with`` item — OK;
@@ -36,6 +38,7 @@ WATCHED_CLASSES = {
     "JobStore",
     "PersistentCache",
     "EngineContext",
+    "EvaluationService",
 }
 #: Constructor-classmethods on the watched classes.
 _FACTORY_METHODS = {"create", "for_estimator"}

@@ -9,6 +9,7 @@ Usage::
     python -m repro cache stats|clear       # persistent-cache upkeep
     python -m repro cache merge DIR...      # fan-in sharded cache fills
     python -m repro cache migrate           # convert JSON shards to SQLite
+    python -m repro serve [--port N]        # long-lived evaluation service
     python -m repro queue fill [...]        # enqueue a grid for workers
     python -m repro queue stats|requeue     # job-queue upkeep
     python -m repro worker [--queue DB]     # claim + evaluate until drained
@@ -76,6 +77,7 @@ from repro.eval.artifacts import (
     RunFinished,
     RunPlan,
     compute_artifacts,
+    finished_event_line,
     stats_by_artifact,
 )
 from repro.eval.engine import (
@@ -89,6 +91,8 @@ from repro.eval.runs import (
     record_from_sweep,
     record_from_worker,
 )
+from repro.serve.server import DEFAULT_PORT as SERVE_DEFAULT_PORT
+from repro.serve.server import serve as run_serve
 
 #: Paper order for `all` and the report (= registry registration order).
 ORDER = list(ARTIFACTS.names())
@@ -170,6 +174,18 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _port(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be 0-65535, got {value}"
+        )
     return value
 
 
@@ -330,6 +346,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="(merge only) storage backend for the merged destination "
         "file (default auto: keep the destination's current format, "
         "else sqlite for large merges)",
+    )
+    cache.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="cache_format",
+        help="(stats only) 'json' prints the machine-readable stats "
+        "document — the same payload the serve API embeds under "
+        "\"cache\" in GET /v1/stats",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived evaluation service: POST JSON "
+        "artifact/sweep specs, stream NDJSON events off one shared "
+        "warm cache (identical concurrent requests coalesce into a "
+        "single evaluation)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=_port, default=SERVE_DEFAULT_PORT,
+        metavar="PORT",
+        help=f"TCP port (default {SERVE_DEFAULT_PORT}; 0 binds "
+        f"any free port — the bound address is announced on stderr)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=_positive_int, default=1, metavar="N",
+        help="executing runs in flight at once (default 1: runs queue "
+        "and per-artifact stats deltas stay exact; coalesced joiners "
+        "never occupy a slot)",
+    )
+    serve.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="parallel evaluation workers within each run (default 1)",
+    )
+    serve.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="worker backend for --jobs > 1 (default thread)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist evaluations under DIR — the service's shared "
+        "warm cache across requests and restarts (also: "
+        "$REPRO_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--cache-backend", choices=cache_mod.CACHE_BACKENDS,
+        default=cache_mod.DEFAULT_CACHE_BACKEND,
+        help="cache storage backend (default auto)",
+    )
+    serve.add_argument(
+        "--record", default=None, metavar="DIR",
+        help="write one schema-v4 run record per executed request "
+        "under DIR (coalesced joiners share the executing request's "
+        "record)",
     )
 
     queue = sub.add_parser(
@@ -559,16 +631,9 @@ def _print_streamed_artifact(event: ArtifactFinished, fmt: str) -> None:
     mode's single keyed document.
     """
     if fmt == "json":
-        print(
-            json.dumps(
-                {
-                    "artifact": event.name,
-                    "payload": event.result.to_payload(),
-                    "stats": event.stats.as_dict(),
-                }
-            ),
-            flush=True,
-        )
+        # The shared encoder keeps this byte-identical to the lines
+        # `repro serve` streams for the same artifacts.
+        print(finished_event_line(event), flush=True)
         return
     rendered = ARTIFACTS[event.name].render(event.result, fmt)
     if fmt == "csv":
@@ -794,6 +859,13 @@ def _cmd_cache(args: argparse.Namespace,
     directory = _resolve_cache_dir(
         args.cache_dir, fallback_to_default=True
     )
+    if args.cache_format != "text" and args.action != "stats":
+        # 'cache clear --format json' would otherwise exit 0 while
+        # printing the text summary anyway.
+        parser.error(
+            f"--format only applies to 'cache stats', not "
+            f"'cache {args.action}'"
+        )
     if args.action == "merge":
         if not args.dirs:
             parser.error(
@@ -859,6 +931,11 @@ def _cmd_cache(args: argparse.Namespace,
         print(f"removed {removed} cache file(s) from {directory}")
         return 0
     stats = cache_mod.cache_stats(directory)
+    if args.cache_format == "json":
+        # The machine-readable document monitoring scrapes — exactly
+        # what the serve API's GET /v1/stats embeds under "cache".
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
     print(f"cache directory: {stats['directory']}")
     if not stats["files"]:
         print("  (empty)")
@@ -878,6 +955,27 @@ def _cmd_cache(args: argparse.Namespace,
             )
     print(f"total entries: {stats['total_entries']}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    ctx = EngineContext.create(
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=_resolve_cache_dir(args.cache_dir),
+        cache_backend=args.cache_backend,
+    )
+    # closing(): the service closes the engine on its own shutdown
+    # path; this is the belt-and-braces close for failures before the
+    # loop starts (both are idempotent).
+    with closing(ctx.engine):
+        return run_serve(
+            ctx,
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            record_dir=args.record,
+        )
 
 
 def _queue_location(
@@ -1284,6 +1382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args, parser)
     if args.command == "cache":
         return _cmd_cache(args, parser)
+    if args.command == "serve":
+        return _cmd_serve(args, parser)
     if args.command == "queue":
         return _cmd_queue(args, parser)
     if args.command == "worker":

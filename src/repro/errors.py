@@ -76,6 +76,18 @@ class LintUsageError(LintError):
     exit code 2, like any other argparse usage error."""
 
 
+class ServeError(ReproError):
+    """An invalid ``repro serve`` request or a server-side protocol
+    failure. Carries the HTTP status code the service should answer
+    with — client mistakes (bad JSON, unknown artifact, malformed
+    sweep spec) default to 400 so the spec validators stay loud
+    instead of silently coercing."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class QueueError(CacheError):
     """A job-queue operation failed (e.g. a worker attaching to a
     queue database filled for a different estimator fingerprint).

@@ -489,3 +489,79 @@ def compute_artifacts(
     evaluated.
     """
     return RunPlan.from_names(names, ctx).run().results
+
+
+def names_from_spec(
+    spec: Any,
+    registry: Optional[ArtifactRegistry] = None,
+) -> Tuple[str, ...]:
+    """Resolve a JSON artifact spec to a tuple of registered names.
+
+    The spec is a mapping with exactly one key: ``{"artifacts": "all"}``
+    or ``{"artifacts": [name, ...]}`` (``"all"`` in the list expands to
+    the full registry, mirroring the CLI). Anything else — wrong
+    top-level type, unknown keys, an empty list, non-string entries,
+    duplicates, unregistered names — raises :class:`EvaluationError`
+    with the registered names spelled out, so transport layers
+    (``repro serve`` maps these to HTTP 400) stay loud instead of
+    guessing.
+    """
+    target = registry if registry is not None else ARTIFACTS
+    if not isinstance(spec, dict):
+        raise EvaluationError(
+            f"artifact spec must be a JSON object, got "
+            f"{type(spec).__name__}"
+        )
+    unknown_keys = sorted(set(spec) - {"artifacts"})
+    if unknown_keys:
+        raise EvaluationError(
+            f"unknown artifact spec key(s): {', '.join(unknown_keys)} "
+            f"(expected only 'artifacts')"
+        )
+    names = spec.get("artifacts")
+    if names == "all":
+        return target.names()
+    if not isinstance(names, list) or not names:
+        raise EvaluationError(
+            "artifact spec needs 'artifacts': \"all\" or a non-empty "
+            "list of artifact names"
+        )
+    for name in names:
+        if not isinstance(name, str):
+            raise EvaluationError(
+                f"artifact names must be strings, got "
+                f"{type(name).__name__}: {name!r}"
+            )
+    if "all" in names:
+        return target.names()
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise EvaluationError(
+            f"duplicate artifact name(s) in spec: "
+            f"{', '.join(duplicates)}"
+        )
+    unregistered = [n for n in names if n not in target]
+    if unregistered:
+        raise EvaluationError(
+            f"unknown artifact(s): {', '.join(unregistered)}; "
+            f"registered: {', '.join(target.names()) or '(none)'}"
+        )
+    return tuple(names)
+
+
+def finished_event_line(event: ArtifactFinished) -> str:
+    """One :class:`ArtifactFinished` as its NDJSON wire line (no
+    trailing newline).
+
+    This is the ``repro all --stream --format json`` output format;
+    ``repro serve`` reuses it verbatim so the service's event stream
+    stays byte-compatible with the CLI. Change it in exactly one
+    place — here — or the CI serve smoke job's byte-diff will fail.
+    """
+    return json.dumps(
+        {
+            "artifact": event.name,
+            "payload": event.result.to_payload(),
+            "stats": event.stats.as_dict(),
+        }
+    )

@@ -1113,6 +1113,24 @@ class EngineContext:
             f"pass an EngineContext, SweepEngine, Estimator, or None"
         )
 
+    def close(self) -> None:
+        """Flush and close the wrapped engine.
+
+        Idempotent and reentrant-friendly, like
+        :meth:`SweepEngine.close`: double-close (a ``finally:`` block
+        racing a signal-driven shutdown hook both tearing down the same
+        context) is a no-op the second time, never an error, and the
+        engine stays usable afterwards (pools and the cache store
+        reopen lazily).
+        """
+        self.engine.close()
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 #: What experiments accept where a context is expected.
 ContextLike = Union[None, EngineContext, SweepEngine, Estimator]

@@ -222,6 +222,29 @@ def _profile_degree(value: object, layer: str) -> float:
     return degree
 
 
+def profile_from_dict(
+    data: object, source: str = "profile"
+) -> SparsityProfile:
+    """Normalize an already-parsed profile mapping.
+
+    ``data`` maps layer names to degrees (or ``{"degree": ...}`` /
+    ``{"pattern": "G:H"}`` objects). This is the validation core shared
+    by :func:`load_profile` (JSON file, the CLI's ``--profile``) and
+    ``repro serve`` (inline ``"profile"`` spec field); ``source`` names
+    the origin in error messages. :func:`validate_profile` then checks
+    the layer names against a concrete model.
+    """
+    if not isinstance(data, dict) or not data:
+        raise WorkloadError(
+            f"{source} must be a non-empty JSON object mapping "
+            f"layer names to sparsity degrees"
+        )
+    return {
+        str(layer): _profile_degree(value, str(layer))
+        for layer, value in data.items()
+    }
+
+
 def load_profile(path: "str | Path") -> SparsityProfile:
     """Read a per-layer sparsity profile from a JSON file.
 
@@ -235,15 +258,7 @@ def load_profile(path: "str | Path") -> SparsityProfile:
         raise WorkloadError(f"cannot read profile {path}: {error}")
     except json.JSONDecodeError as error:
         raise WorkloadError(f"profile {path} is not valid JSON: {error}")
-    if not isinstance(data, dict) or not data:
-        raise WorkloadError(
-            f"profile {path} must be a non-empty JSON object mapping "
-            f"layer names to sparsity degrees"
-        )
-    return {
-        str(layer): _profile_degree(value, str(layer))
-        for layer, value in data.items()
-    }
+    return profile_from_dict(data, source=f"profile {path}")
 
 
 def validate_profile(

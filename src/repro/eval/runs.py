@@ -15,7 +15,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import EvaluationError
-from repro.eval.engine import GEOMEAN_METRICS, SweepEngine, SweepResult
+from repro.eval.engine import (
+    GEOMEAN_METRICS,
+    EngineStats,
+    SweepEngine,
+    SweepResult,
+)
 from repro.model.metrics import Metrics
 
 if TYPE_CHECKING:  # typing-only, avoids a cycle with experiments
@@ -82,12 +87,15 @@ def record_from_sweep(
     wall_time_s: float = 0.0,
     created_at: Optional[str] = None,
     shape: Optional[Tuple[int, int, int]] = None,
+    stats: Optional[EngineStats] = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from a structured sweep result.
 
     Geomeans are recorded only when the sweep's baseline design is part
     of the grid (normalization needs it); raw per-cell metrics are
-    always present.
+    always present. ``stats`` overrides the engine's cumulative
+    counters with a request-scoped delta (the long-lived service
+    path).
     """
     if created_at is None:
         created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
@@ -119,6 +127,10 @@ def record_from_sweep(
     }
     if shape is not None:
         grid["shape_mkn"] = list(shape)
+    if stats is not None:
+        cache = stats.as_dict()
+    else:
+        cache = engine.stats.as_dict() if engine is not None else {}
     return RunRecord(
         command=command,
         created_at=created_at,
@@ -126,7 +138,7 @@ def record_from_sweep(
         cells=cells,
         geomeans=geomeans,
         wall_time_s=wall_time_s,
-        cache=engine.stats.as_dict() if engine is not None else {},
+        cache=cache,
     )
 
 
@@ -136,13 +148,16 @@ def record_from_model_sweep(
     engine: Optional[SweepEngine] = None,
     wall_time_s: float = 0.0,
     created_at: Optional[str] = None,
+    stats: Optional[EngineStats] = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from a network sweep.
 
     Cells are (design, weight_sparsity) network totals; the engine's
     cache counters record how much of the sweep was served from memory
     or disk versus actually evaluated — a warm persistent cache shows
-    ``evaluations == 0`` here.
+    ``evaluations == 0`` here. ``stats`` overrides the engine's
+    cumulative counters with a request-scoped delta (the long-lived
+    service path).
     """
     if created_at is None:
         created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
@@ -174,6 +189,10 @@ def record_from_model_sweep(
     }
     if sweep.baseline is not None:
         grid["baseline"] = list(sweep.baseline)
+    if stats is not None:
+        cache = stats.as_dict()
+    else:
+        cache = engine.stats.as_dict() if engine is not None else {}
     return RunRecord(
         command=command,
         created_at=created_at,
@@ -181,7 +200,7 @@ def record_from_model_sweep(
         cells=cells,
         geomeans={},
         wall_time_s=wall_time_s,
-        cache=engine.stats.as_dict() if engine is not None else {},
+        cache=cache,
     )
 
 
@@ -192,6 +211,7 @@ def record_from_artifacts(
     wall_time_s: float = 0.0,
     created_at: Optional[str] = None,
     artifact_stats: Optional[Dict[str, Dict[str, Any]]] = None,
+    stats: Optional[EngineStats] = None,
 ) -> RunRecord:
     """Build a :class:`RunRecord` from computed artifacts.
 
@@ -203,10 +223,17 @@ def record_from_artifacts(
     ``artifact_stats`` (from the run API's per-artifact
     :class:`~repro.eval.artifacts.ArtifactFinished` deltas, see
     :func:`repro.eval.artifacts.stats_by_artifact`) breaks the same
-    counters down per figure.
+    counters down per figure. A CLI run's counters are its engine's
+    whole life, but a long-lived service records many requests off one
+    engine — ``stats`` passes the request-scoped delta explicitly and
+    takes precedence over the engine's cumulative counters.
     """
     if created_at is None:
         created_at = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    if stats is not None:
+        cache = stats.as_dict()
+    else:
+        cache = engine.stats.as_dict() if engine is not None else {}
     return RunRecord(
         command=command,
         created_at=created_at,
@@ -217,7 +244,7 @@ def record_from_artifacts(
         },
         artifact_stats=dict(artifact_stats or {}),
         wall_time_s=wall_time_s,
-        cache=engine.stats.as_dict() if engine is not None else {},
+        cache=cache,
     )
 
 

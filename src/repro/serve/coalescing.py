@@ -1,0 +1,130 @@
+"""Request coalescing: one evaluation per in-flight canonical spec.
+
+The broker keys live runs by the spec digest computed in
+:mod:`repro.serve.protocol`. The first request for a digest *creates*
+the run and owns its execution; every identical request arriving while
+it is in flight *joins* it — no second evaluation, but each subscriber
+still receives the complete event stream (lines published before it
+joined are replayed from the run's buffer, later ones are fanned out
+live).
+
+Threading model: subscriptions happen on the event-loop thread,
+publishes on engine worker threads, so every access to the broker's
+maps goes through one :class:`threading.Lock` (declared in the
+``_lock_guarded`` manifest — the REP001 lock-discipline lint rule
+checks every method). Publishing holds the lock while appending to the
+run's buffer *and* scheduling the fan-out via
+``loop.call_soon_threadsafe``, which is what makes replay-then-live
+handover exact: a subscriber either sees a line in the replayed buffer
+or is registered before that line's fan-out is scheduled, never both
+and never neither, and queue order matches publish order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, List, Optional
+
+
+class InflightRun:
+    """One executing evaluation and its subscribers.
+
+    Plain shared state — every field is read and written only under
+    the owning :class:`RunBroker`'s lock.
+    """
+
+    def __init__(self, digest: str, sequence: int) -> None:
+        self.digest = digest
+        #: Monotonic run number (stable record filenames).
+        self.sequence = sequence
+        #: Every event line published so far, for late-joiner replay.
+        self.lines: List[str] = []
+        #: Live subscriber queues; ``None`` is the end-of-stream mark.
+        self.queues: List["asyncio.Queue[Optional[str]]"] = []
+        self.done = False
+
+
+class RunBroker:
+    """Digest-keyed fan-out of event lines to coalesced subscribers."""
+
+    _lock_guarded = frozenset({
+        "_runs",
+        "_sequence",
+        "_runs_started",
+        "_coalesced",
+        "_completed",
+    })
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._lock = threading.Lock()
+        self._runs: Dict[str, InflightRun] = {}
+        self._sequence = 0
+        self._runs_started = 0
+        self._coalesced = 0
+        self._completed = 0
+
+    def join_or_start(self, digest: str) -> "tuple[InflightRun, bool]":
+        """The live run for ``digest`` (created=False), or a fresh one
+        this caller now owns and must execute (created=True)."""
+        with self._lock:
+            run = self._runs.get(digest)
+            if run is not None:
+                self._coalesced += 1
+                return run, False
+            self._sequence += 1
+            run = InflightRun(digest, self._sequence)
+            self._runs[digest] = run
+            self._runs_started += 1
+            return run, True
+
+    def subscribe(self, run: InflightRun) -> "asyncio.Queue[Optional[str]]":
+        """A queue that yields the run's full event stream then
+        ``None``. Event-loop thread only (queues are loop-affine)."""
+        queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue()
+        with self._lock:
+            for line in run.lines:
+                queue.put_nowait(line)
+            if run.done:
+                queue.put_nowait(None)
+            else:
+                run.queues.append(queue)
+        return queue
+
+    def publish(self, run: InflightRun, line: str) -> None:
+        """Record ``line`` and fan it out to every subscriber.
+
+        Callable from any thread (the engine worker publishing, the
+        loop thread for synchronous failures).
+        """
+        with self._lock:
+            if run.done:
+                return
+            run.lines.append(line)
+            for queue in run.queues:
+                self._loop.call_soon_threadsafe(queue.put_nowait, line)
+
+    def finish(self, run: InflightRun) -> None:
+        """End the run: deliver end-of-stream, drop it from the live
+        map so the next identical request starts fresh (and hits the
+        warm cache instead of coalescing)."""
+        with self._lock:
+            if run.done:
+                return
+            run.done = True
+            self._runs.pop(run.digest, None)
+            self._completed += 1
+            for queue in run.queues:
+                self._loop.call_soon_threadsafe(queue.put_nowait, None)
+            run.queues = []
+
+    def counts(self) -> Dict[str, int]:
+        """JSON-ready coalescing counters (the ``/v1/stats`` block)."""
+        with self._lock:
+            return {
+                "active_runs": len(self._runs),
+                "runs_started": self._runs_started,
+                "coalesced_requests": self._coalesced,
+                "completed_runs": self._completed,
+            }

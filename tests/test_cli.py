@@ -456,6 +456,34 @@ class TestCacheSubcommand:
                      str(cache_dir)]) == 0
         assert "(empty)" in capsys.readouterr().out
 
+    def test_stats_json_is_the_serve_stats_cache_payload(
+        self, tmp_path, capsys
+    ):
+        from repro.eval.cache import cache_stats
+
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "sweep", "--model", "DeiT-small", "--designs", "TC",
+            "--degrees", "0.0", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--format", "json",
+                     "--cache-dir", str(cache_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Exactly the document GET /v1/stats serves under "cache".
+        assert payload == cache_stats(cache_dir)
+        assert payload["total_entries"] > 0
+        assert payload["files"][0]["backend"] == "json"
+
+    def test_json_format_only_applies_to_stats(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "clear", "--format", "json",
+                  "--cache-dir", str(tmp_path)])
+        assert (
+            "--format only applies to 'cache stats'"
+            in capsys.readouterr().err
+        )
+
     def test_env_var_cache_dir(self, tmp_path, capsys, monkeypatch):
         cache_dir = tmp_path / "env-cache"
         monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
@@ -632,3 +660,14 @@ class TestSingleEvaluationRegression:
             )
         }
         assert set(calls) == expected
+
+
+class TestServeParser:
+    @pytest.mark.parametrize("port", ["-1", "70000", "abc"])
+    def test_bad_port_rejected_by_parser(self, port, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", port])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--port" in err
+        assert "0-65535" in err or "integer" in err

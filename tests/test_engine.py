@@ -384,3 +384,83 @@ class TestClose:
             engine.close()
         assert engine._thread_pool is None
         assert engine._process_pool is None
+
+
+class TestContextClose:
+    """``EngineContext.close()`` is the teardown hook signal-driven
+    shutdown paths (``repro serve``) share with the CLI's ``finally:``
+    blocks — both may fire for the same context, in any order, from
+    different threads, and none of that may raise or lose entries."""
+
+    @pytest.mark.parametrize("backend", ("json", "sqlite"))
+    def test_double_close_flushes_once_and_never_raises(
+        self, tmp_path, backend
+    ):
+        from repro.eval.engine import EngineContext
+
+        ctx = EngineContext.create(
+            cache_dir=str(tmp_path), cache_backend=backend
+        )
+        workload = synthetic_workload(0.5, 0.25, size=128)
+        (metrics,) = ctx.engine.evaluate_workloads([("TC", workload)])
+        assert metrics is not None
+        ctx.close()
+        ctx.close()  # the signal path racing the finally: path
+        reloaded = PersistentCache.for_estimator(
+            tmp_path, ctx.engine.estimator, backend=backend
+        )
+        assert reloaded.get("TC", workload.key()) is not MISS
+        reloaded.close()
+
+    def test_context_manager_closes_on_exit(self, tmp_path):
+        from repro.eval.engine import EngineContext
+
+        workload = synthetic_workload(0.5, 0.25, size=128)
+        with EngineContext.create(cache_dir=str(tmp_path)) as ctx:
+            ctx.engine.evaluate_workloads([("TC", workload)])
+            estimator = ctx.engine.estimator
+        reloaded = PersistentCache.for_estimator(tmp_path, estimator)
+        assert reloaded.get("TC", workload.key()) is not MISS
+        reloaded.close()
+        ctx.close()  # close-after-with is still a no-op
+
+    def test_concurrent_closes_from_threads(self, tmp_path):
+        from repro.eval.engine import EngineContext
+
+        ctx = EngineContext.create(cache_dir=str(tmp_path))
+        ctx.engine.evaluate_workloads(
+            [("TC", synthetic_workload(0.5, 0.25, size=128))]
+        )
+        errors = []
+
+        def close():
+            try:
+                ctx.close()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=close) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_close_then_reuse_then_close(self, tmp_path):
+        """A context stays usable after close (pools and the cache
+        store reopen lazily) and the later re-close flushes again."""
+        from repro.eval.engine import EngineContext
+
+        ctx = EngineContext.create(cache_dir=str(tmp_path))
+        first = synthetic_workload(0.5, 0.25, size=128)
+        ctx.engine.evaluate_workloads([("TC", first)])
+        ctx.close()
+        second = synthetic_workload(0.5, 0.75, size=128)
+        ctx.engine.evaluate_workloads([("TC", second)])
+        ctx.close()
+        reloaded = PersistentCache.for_estimator(
+            tmp_path, ctx.engine.estimator
+        )
+        assert reloaded.get("TC", first.key()) is not MISS
+        assert reloaded.get("TC", second.key()) is not MISS
+        reloaded.close()

@@ -294,12 +294,40 @@ CLOSE_GOOD_ATTR_BINDING = """
             self._store = JobStore(path)
 """
 
+CLOSE_BAD_SERVICE_LEAK = """
+    def serve_forever(ctx):
+        service = EvaluationService(ctx, port=0)
+        return asyncio.run(service.run())
+"""
+
+CLOSE_GOOD_SERVICE_FINALLY = """
+    def serve_forever(ctx):
+        service = EvaluationService(ctx, port=0)
+        try:
+            return asyncio.run(service.run())
+        finally:
+            service.close()
+"""
+
 
 class TestCloseDiscipline:
     def test_leaked_construction_flagged(self, tmp_path):
         findings = run_rule(tmp_path, CLOSE_BAD_LEAK, "REP004")
         assert [f.rule for f in findings] == ["REP004"]
         assert "JobStore" in findings[0].message
+
+    def test_leaked_service_flagged(self, tmp_path):
+        # The serve layer is watched too: a service that never closes
+        # leaks the engine (and its dirty cache entries) it wraps.
+        findings = run_rule(tmp_path, CLOSE_BAD_SERVICE_LEAK, "REP004")
+        assert [f.rule for f in findings] == ["REP004"]
+        assert "EvaluationService" in findings[0].message
+
+    def test_service_closed_in_finally_passes(self, tmp_path):
+        assert (
+            run_rule(tmp_path, CLOSE_GOOD_SERVICE_FINALLY, "REP004")
+            == ()
+        )
 
     @pytest.mark.parametrize(
         "source",
